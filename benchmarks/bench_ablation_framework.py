@@ -1,0 +1,173 @@
+"""Ablations of the framework's design choices (DESIGN.md §4).
+
+* **Predeployed jobs** (§5.1): invoking a cached computing-job spec vs
+  recompiling and redistributing it per batch.
+* **Decoupled storage** (§5.2): computing and storage jobs overlapping vs
+  the coupled insert job that waits for the log force per batch.
+* **Partition-holder capacity** (§5.3): bounded holders must absorb the
+  intake/computing rate mismatch without dropping or duplicating records.
+* **Computing models** (§4.3): Model 1 (per record) vs Model 2 (per
+  batch) vs Model 3 (stream) on a stateful UDF — including Model 3's
+  failure when the build side spills.
+"""
+
+import pytest
+
+from repro.bench import BATCH_SIZES, env_tweets, format_table
+from repro.errors import StreamingJoinError
+from repro.ingestion.feed import ComputingModel, Framework
+
+NODES = 6
+TWEETS = env_tweets(1500)
+CASE = "safety_rating"
+
+
+def test_ablation_predeploy(harness, benchmark, emit):
+    result = {}
+
+    def sweep():
+        result["pre"] = harness.run_enrichment(
+            CASE, TWEETS, NODES, batch_size=BATCH_SIZES["1X"], predeploy=True
+        )
+        result["compile"] = harness.run_enrichment(
+            CASE, TWEETS, NODES, batch_size=BATCH_SIZES["1X"], predeploy=False
+        )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pre, compile_each = result["pre"], result["compile"]
+    emit(
+        "ablation_predeploy",
+        format_table(
+            "Ablation §5.1 — predeployed vs recompile-per-batch computing jobs",
+            ["variant", "throughput", "refresh period (ms)", "jobs"],
+            [
+                ["predeployed", pre.throughput, pre.refresh_period * 1000,
+                 pre.num_computing_jobs],
+                ["recompiled", compile_each.throughput,
+                 compile_each.refresh_period * 1000,
+                 compile_each.num_computing_jobs],
+            ],
+        ),
+    )
+    assert pre.throughput > compile_each.throughput
+    assert compile_each.refresh_period > pre.refresh_period
+
+
+def test_ablation_decoupled_storage(harness, benchmark, emit):
+    result = {}
+
+    def sweep():
+        result["dec"] = harness.run_enrichment(
+            CASE, TWEETS, NODES, batch_size=BATCH_SIZES["1X"], decoupled=True
+        )
+        result["coup"] = harness.run_enrichment(
+            CASE, TWEETS, NODES, batch_size=BATCH_SIZES["1X"], decoupled=False
+        )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    decoupled, coupled = result["dec"], result["coup"]
+    emit(
+        "ablation_decoupling",
+        format_table(
+            "Ablation §5.2 — decoupled computing+storage vs coupled insert job",
+            ["variant", "throughput", "refresh period (ms)"],
+            [
+                ["decoupled", decoupled.throughput, decoupled.refresh_period * 1000],
+                ["coupled", coupled.throughput, coupled.refresh_period * 1000],
+            ],
+        ),
+    )
+    assert decoupled.throughput > coupled.throughput
+
+
+def test_ablation_computing_models(harness, benchmark, emit):
+    result = {}
+
+    def sweep():
+        result["m1"] = harness.run_enrichment(
+            CASE, min(TWEETS, 300), NODES,
+            computing_model=ComputingModel.PER_RECORD,
+        )
+        result["m2"] = harness.run_enrichment(
+            CASE, min(TWEETS, 300), NODES, batch_size=BATCH_SIZES["1X"],
+        )
+        result["m3"] = harness.run_enrichment(
+            CASE, min(TWEETS, 300), NODES, language="java",
+            framework=Framework.STATIC,
+        )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    m1, m2, m3 = result["m1"], result["m2"], result["m3"]
+    emit(
+        "ablation_models",
+        format_table(
+            "Ablation §4.3 — computing models on a stateful UDF",
+            ["model", "throughput", "jobs", "sees updates"],
+            [
+                ["1: per record", m1.throughput, m1.num_computing_jobs,
+                 "every record"],
+                ["2: per batch", m2.throughput, m2.num_computing_jobs,
+                 "every batch"],
+                ["3: stream", m3.throughput, m3.num_computing_jobs, "never"],
+            ],
+        ),
+    )
+    # Model 1 << Model 2 << Model 3 in throughput; freshness is the inverse.
+    assert m1.throughput < m2.throughput < m3.throughput
+    assert m1.num_computing_jobs > m2.num_computing_jobs
+
+
+def test_ablation_stream_model_spill(harness, benchmark):
+    """Model 3 over a spilling build side must fail (§4.3.4 case 2)."""
+
+    def attempt():
+        with pytest.raises(StreamingJoinError):
+            harness.run_enrichment(
+                CASE, 50, NODES, language="sqlpp", framework=Framework.STATIC,
+                computing_model=ComputingModel.STREAM,
+                stream_memory_budget=1,
+            )
+
+    benchmark.pedantic(attempt, rounds=1, iterations=1)
+
+
+def test_ablation_holder_capacity(harness, benchmark, emit):
+    """Bounded intake holders: correctness under backpressure."""
+    from repro.adm import open_type
+    from repro.cluster import Cluster
+    from repro.ingestion import (
+        DynamicIngestionPipeline,
+        FeedDefinition,
+        GeneratorAdapter,
+    )
+    from repro.storage import Dataset
+    import json
+
+    rows = []
+
+    def sweep():
+        for capacity in (1, 4, 64):
+            target = Dataset(
+                "T", open_type("TT", id="int64"), "id",
+                num_partitions=NODES, validate=False,
+            )
+            feed = FeedDefinition(
+                "F", "T", batch_size=BATCH_SIZES["1X"],
+                intake_holder_capacity=capacity,
+            )
+            raws = [json.dumps({"id": i}) for i in range(2000)]
+            report = DynamicIngestionPipeline(Cluster(NODES), {"T": target}).run(
+                feed, GeneratorAdapter(raws)
+            )
+            assert report.records_stored == 2000  # never lose records
+            rows.append([capacity, report.throughput, report.stalls])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_holder_capacity",
+        format_table(
+            "Ablation §5.3 — intake partition-holder capacity (frames)",
+            ["capacity", "throughput", "stalls"],
+            rows,
+        ),
+    )

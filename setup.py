@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` on machines without the ``wheel`` package (e.g.
+air-gapped environments) falls back to setuptools' legacy editable
+install through this file; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

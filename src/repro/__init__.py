@@ -1,0 +1,27 @@
+"""repro — a reproduction of "An IDEA: An Ingestion Framework for Data
+Enrichment in AsterixDB" (Wang & Carey, VLDB 2019).
+
+The package provides an embedded AsterixDB-like system: the ADM data
+model, LSM storage with secondary indexes, a Hyracks-style partitioned job
+runtime over a simulated cluster, a SQL++ subset, Java/SQL++ UDFs, and —
+the paper's contribution — a layered data-feed ingestion framework whose
+computing jobs refresh enrichment state per record batch.
+
+Quickstart::
+
+    from repro import AsterixLite
+    system = AsterixLite(num_nodes=3)
+    system.execute('''
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+    ''')
+    system.insert("Tweets", [{"id": 0, "text": "Let there be light"}])
+    print(system.query("SELECT VALUE t.text FROM Tweets t"))
+"""
+
+from .core import AsterixLite
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["AsterixLite", "ReproError", "__version__"]

@@ -1,0 +1,110 @@
+"""Parsing raw ingested bytes/text into ADM records, and serializing back.
+
+This is the feed *parser* role from the paper: the adapter hands over raw
+bytes, the parser produces typed ADM records.  JSON is the wire format; the
+parser optionally coerces string-encoded extended values (datetimes, points)
+into their ADM wrapper classes based on the target datatype.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, Optional
+
+from ..errors import AdmParseError
+from .types import Datatype, FieldType, TypeTag
+from .values import Circle, DateTime, Duration, Point, Rectangle
+
+
+def parse_json(text: str, datatype: Optional[Datatype] = None) -> dict:
+    """Parse one JSON object into an ADM record.
+
+    If ``datatype`` is given, string-encoded extended fields declared in the
+    type (datetime, duration, point...) are coerced, and the record is
+    validated against the type.
+    """
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AdmParseError(f"malformed JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise AdmParseError(
+            f"expected a JSON object record, got {type(raw).__name__}"
+        )
+    if datatype is not None:
+        raw = coerce_record(raw, datatype)
+        datatype.validate(raw)
+    return raw
+
+
+def parse_json_lines(
+    lines: Iterable[str], datatype: Optional[Datatype] = None
+) -> Iterator[dict]:
+    """Parse newline-delimited JSON records, skipping blank lines."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield parse_json(line, datatype)
+
+
+def coerce_record(record: dict, datatype: Datatype) -> dict:
+    """Coerce string/array-encoded extended values using declared types."""
+    out = dict(record)
+    for fname, ftype in datatype.fields.items():
+        if fname in out and out[fname] is not None:
+            out[fname] = _coerce_value(out[fname], ftype)
+    return out
+
+
+def _coerce_value(value, ftype: FieldType):
+    tag = ftype.tag
+    if tag is TypeTag.DATETIME and isinstance(value, str):
+        return DateTime.parse(value)
+    if tag is TypeTag.DURATION and isinstance(value, str):
+        return Duration.parse(value)
+    if tag is TypeTag.POINT and isinstance(value, (list, tuple)) and len(value) == 2:
+        return Point(float(value[0]), float(value[1]))
+    if (
+        tag is TypeTag.RECTANGLE
+        and isinstance(value, (list, tuple))
+        and len(value) == 4
+    ):
+        return Rectangle(*(float(v) for v in value))
+    if tag is TypeTag.CIRCLE and isinstance(value, (list, tuple)) and len(value) == 3:
+        return Circle(Point(float(value[0]), float(value[1])), float(value[2]))
+    if tag is TypeTag.DOUBLE and isinstance(value, int):
+        return float(value)
+    if tag is TypeTag.ARRAY and isinstance(value, list) and ftype.item is not None:
+        return [_coerce_value(v, ftype.item) for v in value]
+    if (
+        tag is TypeTag.OBJECT
+        and isinstance(value, dict)
+        and ftype.object_type is not None
+    ):
+        return coerce_record(value, ftype.object_type)
+    return value
+
+
+class _AdmEncoder(json.JSONEncoder):
+    def default(self, o):
+        if isinstance(o, DateTime):
+            return o.isoformat()
+        if isinstance(o, Duration):
+            return f"P{o.months}M" if not o.millis else repr(o)
+        if isinstance(o, Point):
+            return [o.x, o.y]
+        if isinstance(o, Rectangle):
+            return [o.x1, o.y1, o.x2, o.y2]
+        if isinstance(o, Circle):
+            return [o.center.x, o.center.y, o.radius]
+        return super().default(o)
+
+
+def serialize(record) -> str:
+    """Serialize an ADM record back to JSON text."""
+    return json.dumps(record, cls=_AdmEncoder, separators=(",", ":"))
+
+
+def record_size_bytes(record) -> int:
+    """Approximate wire size of a record (used by workload calibration)."""
+    return len(serialize(record).encode("utf-8"))

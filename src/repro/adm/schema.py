@@ -1,0 +1,122 @@
+"""Schema helpers: a small DDL-ish builder API plus field-path access.
+
+``field_path`` is the workhorse used across the query engine and index
+maintenance: it navigates dotted paths (``user.screen_name``) through nested
+objects, yielding MISSING when a step is absent — matching SQL++ semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from .types import Datatype, FieldType, TypeTag
+from .values import MISSING
+
+_TAG_BY_NAME = {t.value: t for t in TypeTag}
+_TAG_ALIASES = {
+    "int": TypeTag.INT64,
+    "int64": TypeTag.INT64,
+    "bigint": TypeTag.INT64,
+    "float": TypeTag.DOUBLE,
+    "double": TypeTag.DOUBLE,
+    "bool": TypeTag.BOOLEAN,
+    "text": TypeTag.STRING,
+}
+
+
+def resolve_tag(name: str) -> TypeTag:
+    key = name.strip().lower()
+    if key in _TAG_ALIASES:
+        return _TAG_ALIASES[key]
+    if key in _TAG_BY_NAME:
+        return _TAG_BY_NAME[key]
+    raise KeyError(f"unknown ADM type name: {name!r}")
+
+
+def make_type(
+    name: str,
+    fields: Dict[str, Union[str, FieldType]],
+    open: bool = True,  # noqa: A002 - mirrors AsterixDB "OPEN" keyword
+) -> Datatype:
+    """Build a :class:`Datatype` from a name->type-name mapping.
+
+    Type names accept a trailing ``?`` for optional fields and ``[...]`` for
+    arrays, e.g. ``{"id": "int64", "tags": "[string]", "geo": "point?"}``.
+    """
+    resolved: Dict[str, FieldType] = {}
+    for fname, spec in fields.items():
+        if isinstance(spec, FieldType):
+            resolved[fname] = spec
+        else:
+            resolved[fname] = parse_field_spec(spec)
+    return Datatype(name=name, fields=resolved, is_open=open)
+
+
+def parse_field_spec(spec: str) -> FieldType:
+    spec = spec.strip()
+    optional = spec.endswith("?")
+    if optional:
+        spec = spec[:-1].strip()
+    if spec.startswith("[") and spec.endswith("]"):
+        inner = parse_field_spec(spec[1:-1])
+        return FieldType(TypeTag.ARRAY, optional=optional, item=inner)
+    return FieldType(resolve_tag(spec), optional=optional)
+
+
+PathLike = Union[str, Sequence[str]]
+
+
+def split_path(path: PathLike) -> Tuple[str, ...]:
+    if isinstance(path, str):
+        return tuple(path.split("."))
+    return tuple(path)
+
+
+def field_path(record, path: PathLike):
+    """Navigate a dotted path through a record; absent steps yield MISSING."""
+    current = record
+    for step in split_path(path):
+        if isinstance(current, dict):
+            if step in current:
+                current = current[step]
+            else:
+                return MISSING
+        else:
+            return MISSING
+    return current
+
+
+def set_field_path(record: dict, path: PathLike, value) -> None:
+    """Set a (possibly nested) field, creating intermediate objects."""
+    steps = split_path(path)
+    current = record
+    for step in steps[:-1]:
+        nxt = current.get(step)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            current[step] = nxt
+        current = nxt
+    current[steps[-1]] = value
+
+
+def primary_key_of(record: dict, key_path: PathLike):
+    """Extract the primary key; raises if the key is missing."""
+    value = field_path(record, key_path)
+    if value is MISSING or value is None:
+        from ..errors import AdmTypeError
+
+        raise AdmTypeError(f"record has no primary key at path {key_path!r}")
+    return value
+
+
+def open_type(type_name: str, **fields: str) -> Datatype:
+    """Shorthand: ``open_type("TweetType", id="int64", text="string")``.
+
+    The first parameter is named ``type_name`` so records may declare a
+    field called ``name``.
+    """
+    return make_type(type_name, fields, open=True)
+
+
+def closed_type(type_name: str, **fields: str) -> Datatype:
+    return make_type(type_name, fields, open=False)

@@ -1,0 +1,204 @@
+"""The AsterixDB Data Model (ADM) type system.
+
+ADM is a superset of JSON: in addition to the JSON scalar types it has
+64-bit integers, datetimes, durations, and spatial primitives (point,
+rectangle, circle).  A :class:`Datatype` describes the known aspects of the
+records stored in a dataset; an *open* datatype only constrains the declared
+fields and admits arbitrary additional ones, a *closed* datatype rejects
+undeclared fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import AdmTypeError
+
+
+class TypeTag(enum.Enum):
+    """Tags for every primitive and structured ADM type."""
+
+    NULL = "null"
+    MISSING = "missing"
+    BOOLEAN = "boolean"
+    INT64 = "int64"
+    DOUBLE = "double"
+    STRING = "string"
+    DATETIME = "datetime"
+    DURATION = "duration"
+    POINT = "point"
+    RECTANGLE = "rectangle"
+    CIRCLE = "circle"
+    ARRAY = "array"
+    OBJECT = "object"
+    ANY = "any"
+
+
+_SCALAR_TAGS = frozenset(
+    {
+        TypeTag.NULL,
+        TypeTag.BOOLEAN,
+        TypeTag.INT64,
+        TypeTag.DOUBLE,
+        TypeTag.STRING,
+        TypeTag.DATETIME,
+        TypeTag.DURATION,
+        TypeTag.POINT,
+        TypeTag.RECTANGLE,
+        TypeTag.CIRCLE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """The type of a single declared field.
+
+    ``optional`` fields may be absent (or null) in a conforming record.
+    ``item`` is the element type for arrays; ``object_type`` names a nested
+    datatype for OBJECT fields.
+    """
+
+    tag: TypeTag
+    optional: bool = False
+    item: Optional["FieldType"] = None
+    object_type: Optional["Datatype"] = None
+
+    def describe(self) -> str:
+        base = self.tag.value
+        if self.tag is TypeTag.ARRAY and self.item is not None:
+            base = f"[{self.item.describe()}]"
+        if self.optional:
+            base += "?"
+        return base
+
+
+@dataclass
+class Datatype:
+    """A named record type, open or closed.
+
+    Mirrors ``CREATE TYPE name AS OPEN { ... }`` in AsterixDB.  ``fields``
+    maps declared field names to their :class:`FieldType`.
+    """
+
+    name: str
+    fields: Dict[str, FieldType] = field(default_factory=dict)
+    is_open: bool = True
+
+    def declared(self, field_name: str) -> bool:
+        return field_name in self.fields
+
+    def validate(self, record: dict) -> None:
+        """Raise :class:`AdmTypeError` if ``record`` does not conform."""
+        if not isinstance(record, dict):
+            raise AdmTypeError(
+                f"type {self.name}: expected an object, got {type(record).__name__}"
+            )
+        for fname, ftype in self.fields.items():
+            if fname not in record or record[fname] is None:
+                if ftype.optional:
+                    continue
+                raise AdmTypeError(
+                    f"type {self.name}: missing required field {fname!r}"
+                )
+            _validate_value(record[fname], ftype, self.name, fname)
+        if not self.is_open:
+            extra = set(record) - set(self.fields)
+            if extra:
+                raise AdmTypeError(
+                    f"closed type {self.name}: undeclared fields {sorted(extra)}"
+                )
+
+    def conforms(self, record: dict) -> bool:
+        """Return True if ``record`` validates, False otherwise."""
+        try:
+            self.validate(record)
+        except AdmTypeError:
+            return False
+        return True
+
+
+def _validate_value(value, ftype: FieldType, type_name: str, fname: str) -> None:
+    from .values import Circle, DateTime, Duration, Point, Rectangle
+
+    tag = ftype.tag
+    ok = True
+    if tag is TypeTag.ANY:
+        ok = True
+    elif tag is TypeTag.INT64:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+        if ok and not (-(2**63) <= value < 2**63):
+            raise AdmTypeError(
+                f"type {type_name}.{fname}: int64 out of range: {value}"
+            )
+    elif tag is TypeTag.DOUBLE:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif tag is TypeTag.STRING:
+        ok = isinstance(value, str)
+    elif tag is TypeTag.BOOLEAN:
+        ok = isinstance(value, bool)
+    elif tag is TypeTag.DATETIME:
+        ok = isinstance(value, DateTime)
+    elif tag is TypeTag.DURATION:
+        ok = isinstance(value, Duration)
+    elif tag is TypeTag.POINT:
+        ok = isinstance(value, Point)
+    elif tag is TypeTag.RECTANGLE:
+        ok = isinstance(value, Rectangle)
+    elif tag is TypeTag.CIRCLE:
+        ok = isinstance(value, Circle)
+    elif tag is TypeTag.NULL:
+        ok = value is None
+    elif tag is TypeTag.ARRAY:
+        ok = isinstance(value, list)
+        if ok and ftype.item is not None:
+            for i, element in enumerate(value):
+                _validate_value(element, ftype.item, type_name, f"{fname}[{i}]")
+    elif tag is TypeTag.OBJECT:
+        ok = isinstance(value, dict)
+        if ok and ftype.object_type is not None:
+            ftype.object_type.validate(value)
+    if not ok:
+        raise AdmTypeError(
+            f"type {type_name}.{fname}: expected {ftype.describe()}, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+
+
+def tag_of(value) -> TypeTag:
+    """Return the runtime :class:`TypeTag` of a Python-represented ADM value."""
+    from .values import MISSING, Circle, DateTime, Duration, Point, Rectangle
+
+    if value is MISSING:
+        return TypeTag.MISSING
+    if value is None:
+        return TypeTag.NULL
+    if isinstance(value, bool):
+        return TypeTag.BOOLEAN
+    if isinstance(value, int):
+        return TypeTag.INT64
+    if isinstance(value, float):
+        return TypeTag.DOUBLE
+    if isinstance(value, str):
+        return TypeTag.STRING
+    if isinstance(value, DateTime):
+        return TypeTag.DATETIME
+    if isinstance(value, Duration):
+        return TypeTag.DURATION
+    if isinstance(value, Point):
+        return TypeTag.POINT
+    if isinstance(value, Rectangle):
+        return TypeTag.RECTANGLE
+    if isinstance(value, Circle):
+        return TypeTag.CIRCLE
+    if isinstance(value, list):
+        return TypeTag.ARRAY
+    if isinstance(value, dict):
+        return TypeTag.OBJECT
+    raise AdmTypeError(f"value {value!r} has no ADM type")
+
+
+def is_scalar_tag(tag: TypeTag) -> bool:
+    return tag in _SCALAR_TAGS

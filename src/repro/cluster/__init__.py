@@ -1,0 +1,6 @@
+"""Cluster substrate: Cluster Controller, Node Controllers, predeploy."""
+
+from .controller import Cluster, ClusterController, DeployedJob
+from .node import NodeController
+
+__all__ = ["Cluster", "ClusterController", "DeployedJob", "NodeController"]

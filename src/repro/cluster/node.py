@@ -1,0 +1,37 @@
+"""Node Controllers: the per-node agents of an AsterixDB cluster."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class NodeController:
+    """A worker node: holds storage partitions and predeployed job specs.
+
+    In this simulation the NC's job-execution role is played centrally by
+    the executor; the NC tracks what a real node would cache (predeployed
+    job specifications) and expose (its partition inventory) so tests can
+    assert the deployment protocol.
+    """
+
+    def __init__(self, node_id: int, is_cc: bool = False):
+        self.node_id = node_id
+        self.is_cc = is_cc
+        self.predeployed_jobs: Set[str] = set()
+        self.invocations: Dict[str, int] = {}
+
+    def cache_job(self, deployed_job_id: str) -> None:
+        self.predeployed_jobs.add(deployed_job_id)
+
+    def evict_job(self, deployed_job_id: str) -> None:
+        self.predeployed_jobs.discard(deployed_job_id)
+
+    def has_job(self, deployed_job_id: str) -> bool:
+        return deployed_job_id in self.predeployed_jobs
+
+    def note_invocation(self, deployed_job_id: str) -> None:
+        self.invocations[deployed_job_id] = self.invocations.get(deployed_job_id, 0) + 1
+
+    def __repr__(self):
+        role = "CC+NC" if self.is_cc else "NC"
+        return f"<Node {self.node_id} ({role})>"

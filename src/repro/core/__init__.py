@@ -1,0 +1,5 @@
+"""Public facade: the embedded AsterixDB-like system of the paper."""
+
+from .system import AsterixLite
+
+__all__ = ["AsterixLite"]

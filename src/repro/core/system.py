@@ -1,0 +1,429 @@
+"""The public facade: an embedded AsterixDB-like system.
+
+This is the user model the paper assumes — DDL for types, datasets,
+indexes, functions, and feeds; DML for inserts and queries; feeds for
+continuous ingestion with attached enrichment UDFs.  Statements can be
+issued as SQL++ text (``execute``) or through the equivalent programmatic
+methods.
+
+>>> system = AsterixLite(num_nodes=3)
+>>> system.execute('''
+...     CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+...     CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+... ''')
+>>> system.insert("Tweets", [{"id": 0, "text": "Let there be light"}])
+1
+>>> system.query("SELECT VALUE t.text FROM Tweets t")
+['Let there be light']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..adm.schema import make_type
+from ..adm.types import Datatype
+from ..cluster.controller import Cluster
+from ..errors import FeedStateError, SqlppAnalysisError
+from ..hyracks.cost import CostModel
+from ..ingestion.adapter import FeedAdapter
+from ..ingestion.feed import (
+    AttachedFunction,
+    ComputingModel,
+    FeedDefinition,
+    FeedRunReport,
+    Framework,
+)
+from ..ingestion.pipelines import (
+    ActiveFeedManager,
+    DynamicIngestionPipeline,
+    StaticIngestionPipeline,
+)
+from ..sqlpp.compiler import QueryCompiler, run_insert
+from ..sqlpp.evaluator import EvaluationContext, Evaluator
+from ..sqlpp.parser import parse_statements
+from ..sqlpp.statements import (
+    ConnectFeed,
+    CreateDataset,
+    CreateFeed,
+    CreateFunction,
+    CreateIndex,
+    CreateType,
+    DeleteStatement,
+    InsertStatement,
+    QueryStatement,
+    StartFeed,
+    StopFeed,
+)
+from ..storage.dataset import Dataset
+from ..storage.index import IndexKind
+from ..udf.registry import FunctionRegistry
+
+
+class _FeedState:
+    def __init__(self, name: str, config: Dict[str, object]):
+        self.name = name
+        self.config = config
+        self.target_dataset: Optional[str] = None
+        self.functions: List[AttachedFunction] = []
+        self.adapter: Optional[FeedAdapter] = None
+        self.last_report: Optional[FeedRunReport] = None
+        self.running = False
+
+
+class AsterixLite:
+    """An embedded, single-process reproduction of the paper's system."""
+
+    def __init__(
+        self,
+        num_nodes: int = 1,
+        cost_model: Optional[CostModel] = None,
+        default_partitions: Optional[int] = None,
+    ):
+        self.cluster = Cluster(num_nodes, cost_model)
+        self.types: Dict[str, Datatype] = {}
+        self.catalog: Dict[str, Dataset] = {}
+        self.registry = FunctionRegistry(lambda: set(self.catalog))
+        self.feeds: Dict[str, _FeedState] = {}
+        self.afm = ActiveFeedManager(self.cluster)
+        self.default_partitions = default_partitions or num_nodes
+        self._compiler = QueryCompiler(self.cluster, self.catalog, self.registry)
+
+    # ------------------------------------------------------------------- DDL
+
+    def create_type(
+        self, name: str, fields: Dict[str, str], open: bool = True  # noqa: A002
+    ) -> Datatype:
+        if name in self.types:
+            raise SqlppAnalysisError(f"type {name!r} already exists")
+        datatype = make_type(name, fields, open=open)
+        self.types[name] = datatype
+        return datatype
+
+    def create_dataset(
+        self,
+        name: str,
+        type_name: str,
+        primary_key: str,
+        num_partitions: Optional[int] = None,
+    ) -> Dataset:
+        if name in self.catalog:
+            raise SqlppAnalysisError(f"dataset {name!r} already exists")
+        if type_name not in self.types:
+            raise SqlppAnalysisError(f"unknown type: {type_name}")
+        dataset = Dataset(
+            name,
+            self.types[type_name],
+            primary_key,
+            num_partitions=num_partitions or self.default_partitions,
+        )
+        self.catalog[name] = dataset
+        return dataset
+
+    def create_index(
+        self, name: str, dataset: str, field: str, kind: str = "btree"
+    ) -> None:
+        self._dataset(dataset).create_index(
+            name, field, IndexKind.RTREE if kind == "rtree" else IndexKind.BTREE
+        )
+
+    def create_function(self, source_or_definition) -> None:
+        self.registry.register_sqlpp(source_or_definition)
+
+    def create_java_function(self, descriptor) -> None:
+        self.registry.register_java(descriptor)
+
+    def create_feed(self, name: str, config: Optional[Dict] = None) -> None:
+        if name in self.feeds:
+            raise FeedStateError(f"feed {name!r} already exists")
+        self.feeds[name] = _FeedState(name, dict(config or {}))
+
+    def connect_feed(
+        self,
+        feed: str,
+        dataset: str,
+        apply_functions: Iterable[Union[str, AttachedFunction]] = (),
+    ) -> None:
+        state = self._feed(feed)
+        self._dataset(dataset)  # validate existence
+        state.target_dataset = dataset
+        state.functions = [
+            fn if isinstance(fn, AttachedFunction) else AttachedFunction(fn)
+            for fn in apply_functions
+        ]
+
+    # ------------------------------------------------------------------ feeds
+
+    def set_feed_adapter(self, feed: str, adapter: FeedAdapter) -> None:
+        self._feed(feed).adapter = adapter
+
+    def start_feed(
+        self,
+        feed: str,
+        adapter: Optional[FeedAdapter] = None,
+        framework: Union[str, Framework] = Framework.DYNAMIC,
+        batch_size: int = 420,
+        balanced_intake: bool = False,
+        computing_model: ComputingModel = ComputingModel.PER_BATCH,
+        update_client=None,
+    ) -> FeedRunReport:
+        """Run the feed to adapter exhaustion; returns the run report.
+
+        The embedded execution model is synchronous: starting a feed drives
+        it until the adapter's stream ends (a ``QueueAdapter`` ends when its
+        producer calls ``end()``, which is the STOP FEED analog).
+        """
+        state = self._feed(feed)
+        if state.target_dataset is None:
+            raise FeedStateError(f"feed {feed!r} is not connected to a dataset")
+        if state.running:
+            raise FeedStateError(f"feed {feed!r} is already running")
+        adapter = adapter or state.adapter
+        if adapter is None:
+            raise FeedStateError(f"feed {feed!r} has no adapter")
+        framework = Framework(framework) if isinstance(framework, str) else framework
+        type_name = state.config.get("type-name")
+        datatype = self.types.get(type_name) if type_name else None
+        definition = FeedDefinition(
+            name=feed,
+            target_dataset=state.target_dataset,
+            datatype=datatype,
+            batch_size=batch_size,
+            framework=framework,
+            computing_model=computing_model,
+            functions=list(state.functions),
+            balanced_intake=balanced_intake,
+        )
+        state.running = True
+        try:
+            if framework is Framework.STATIC:
+                pipeline = StaticIngestionPipeline(
+                    self.cluster, self.catalog, self.registry
+                )
+                report = pipeline.run(definition, adapter)
+            else:
+                pipeline = DynamicIngestionPipeline(
+                    self.cluster, self.catalog, self.registry, afm=self.afm
+                )
+                report = pipeline.run(definition, adapter, update_client=update_client)
+        finally:
+            state.running = False
+        state.last_report = report
+        return report
+
+    def feed_report(self, feed: str) -> Optional[FeedRunReport]:
+        return self._feed(feed).last_report
+
+    # ------------------------------------------------------------------- DML
+
+    def insert(self, dataset: str, records: List[dict], upsert: bool = False) -> int:
+        result = run_insert(
+            self.cluster, self.catalog, dataset, list(records), upsert=upsert
+        )
+        return result.records_out
+
+    def upsert(self, dataset: str, records: List[dict]) -> int:
+        return self.insert(dataset, records, upsert=True)
+
+    def delete_where(self, dataset_name: str, var: str, where=None) -> int:
+        """Delete records matching ``where``; returns how many went."""
+        dataset = self._dataset(dataset_name)
+        evaluator = self.evaluator()
+        from ..adm.schema import primary_key_of
+        from ..sqlpp.evaluator import Env, _truthy
+
+        doomed = []
+        for record in dataset.scan():
+            if where is None or _truthy(
+                evaluator.evaluate(where, Env({var: record}))
+            ):
+                doomed.append(primary_key_of(record, dataset.primary_key))
+        for key in doomed:
+            dataset.delete(key)
+        return len(doomed)
+
+    def query(self, text_or_ast) -> List:
+        """Evaluate a query (Option 1: enrichment-during-querying)."""
+        if isinstance(text_or_ast, str):
+            statements = parse_statements(text_or_ast)
+            if len(statements) != 1 or not isinstance(statements[0], QueryStatement):
+                raise SqlppAnalysisError("query() expects exactly one SELECT")
+            ast = statements[0].query
+        else:
+            ast = text_or_ast
+        return self._compiler.compile(ast).execute()
+
+    def prepare(self, text: str) -> "PreparedQuery":
+        """Predeploy a parameterized query (Figure 20).
+
+        Placeholders are written ``$name``; ``PreparedQuery.execute`` binds
+        them per invocation.  The compiled specification is cached on every
+        node, so invocations pay the predeployed-invoke overhead rather
+        than re-compiling — the same mechanism the dynamic ingestion
+        framework uses for its computing jobs.
+        """
+        statements = parse_statements(text)
+        if len(statements) != 1 or not isinstance(statements[0], QueryStatement):
+            raise SqlppAnalysisError("prepare() expects exactly one SELECT")
+        ast = statements[0].query
+        from ..sqlpp.analysis import free_vars
+
+        params = sorted(
+            name for name in free_vars(ast)
+            if name.startswith("$")
+        )
+        from ..hyracks.connectors import OneToOne
+        from ..hyracks.job import JobSpecification, OperatorDescriptor
+        from ..hyracks.operators import ListSource, NullSink
+
+        def spec_builder(bound):
+            # the invocation message: ship the parameter to the cluster
+            spec = JobSpecification("prepared-query")
+            src = spec.add_operator(
+                OperatorDescriptor(
+                    "params",
+                    lambda c: ListSource(c, [dict(bound)] if bound else []),
+                    partitions=1,
+                )
+            )
+            sink = spec.add_operator(
+                OperatorDescriptor("sink", lambda c: NullSink(c), partitions=1)
+            )
+            spec.connect(src, sink, OneToOne())
+            return spec
+
+        job_id = self.cluster.controller.deploy("prepared-query", spec_builder)
+        return PreparedQuery(self, ast, params, job_id)
+
+    def save_dataset(self, dataset: str, path: str) -> int:
+        """Snapshot a dataset to disk; returns records written."""
+        from ..storage.persistence import save_dataset
+
+        return save_dataset(self._dataset(dataset), path)
+
+    def load_dataset(self, path: str) -> Dataset:
+        """Load a snapshot into the catalog (name comes from the file)."""
+        from ..storage.persistence import load_dataset
+
+        dataset = load_dataset(path, num_partitions=self.default_partitions)
+        if dataset.name in self.catalog:
+            raise SqlppAnalysisError(f"dataset {dataset.name!r} already exists")
+        self.catalog[dataset.name] = dataset
+        self.types.setdefault(dataset.datatype.name, dataset.datatype)
+        return dataset
+
+    def explain(self, text_or_ast) -> str:
+        """Describe the physical plan a query compiles to (EXPLAIN)."""
+        if isinstance(text_or_ast, str):
+            statements = parse_statements(text_or_ast)
+            if len(statements) != 1 or not isinstance(statements[0], QueryStatement):
+                raise SqlppAnalysisError("explain() expects exactly one SELECT")
+            ast = statements[0].query
+        else:
+            ast = text_or_ast
+        return self._compiler.compile(ast).plan
+
+    # ------------------------------------------------------------- statements
+
+    def execute(self, sqlpp_text: str):
+        """Execute one or more SQL++ statements; returns the last result."""
+        result = None
+        for statement in parse_statements(sqlpp_text):
+            result = self._execute_one(statement)
+        return result
+
+    def _execute_one(self, statement):
+        if isinstance(statement, CreateType):
+            return self.create_type(
+                statement.name, statement.fields, open=statement.is_open
+            )
+        if isinstance(statement, CreateDataset):
+            return self.create_dataset(
+                statement.name, statement.type_name, statement.primary_key
+            )
+        if isinstance(statement, CreateIndex):
+            return self.create_index(
+                statement.name,
+                statement.dataset,
+                statement.fields[0],
+                kind=statement.index_type,
+            )
+        if isinstance(statement, CreateFunction):
+            return self.create_function(statement.definition)
+        if isinstance(statement, CreateFeed):
+            return self.create_feed(statement.name, statement.config)
+        if isinstance(statement, ConnectFeed):
+            return self.connect_feed(
+                statement.feed, statement.dataset, statement.apply_functions
+            )
+        if isinstance(statement, StartFeed):
+            return self.start_feed(statement.feed)
+        if isinstance(statement, StopFeed):
+            state = self._feed(statement.feed)
+            if state.adapter is not None and hasattr(state.adapter, "end"):
+                state.adapter.end()
+            return None
+        if isinstance(statement, DeleteStatement):
+            return self.delete_where(
+                statement.dataset, statement.var, statement.where
+            )
+        if isinstance(statement, InsertStatement):
+            rows = self._compiler.compile(statement.query).execute()
+            return self.insert(statement.dataset, rows, upsert=statement.upsert)
+        if isinstance(statement, QueryStatement):
+            return self._compiler.compile(statement.query).execute()
+        raise SqlppAnalysisError(f"unsupported statement: {type(statement).__name__}")
+
+    # ---------------------------------------------------------------- helpers
+
+    def evaluation_context(self) -> EvaluationContext:
+        return EvaluationContext(self.catalog, functions=self.registry)
+
+    def evaluator(self) -> Evaluator:
+        return Evaluator(self.evaluation_context())
+
+    def _dataset(self, name: str) -> Dataset:
+        if name not in self.catalog:
+            raise SqlppAnalysisError(f"unknown dataset: {name}")
+        return self.catalog[name]
+
+    def _feed(self, name: str) -> _FeedState:
+        if name not in self.feeds:
+            raise FeedStateError(f"unknown feed: {name}")
+        return self.feeds[name]
+
+
+class PreparedQuery:
+    """A predeployed parameterized query (the paper's Figure 20)."""
+
+    def __init__(self, system: AsterixLite, ast, params, job_id: str):
+        self._system = system
+        self.ast = ast
+        self.params = params  # sorted "$name" placeholders
+        self.job_id = job_id
+        self.invocations = 0
+
+    def execute(self, **bindings) -> List:
+        """Run the query with ``name=value`` bindings for each ``$name``."""
+        bound = {f"${name}": value for name, value in bindings.items()}
+        missing_params = [p for p in self.params if p not in bound]
+        if missing_params:
+            raise SqlppAnalysisError(
+                f"missing parameter(s): {', '.join(missing_params)}"
+            )
+        unknown = [p for p in bound if p not in self.params]
+        if unknown:
+            raise SqlppAnalysisError(
+                f"unknown parameter(s): {', '.join(unknown)}"
+            )
+        # Bookkeeping through the predeployed-job machinery: invocations
+        # are tracked per node (Figure 20's invocation message).
+        self._system.cluster.controller.invoke(self.job_id, bound)
+        self.invocations += 1
+        evaluator = self._system.evaluator()
+        result = evaluator.evaluate_query(self.ast, bound)
+        return result if isinstance(result, list) else [result]
+
+    def close(self) -> None:
+        """Undeploy the cached specification from the cluster."""
+        self._system.cluster.controller.undeploy(self.job_id)

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the IDEA reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AdmError(ReproError):
+    """Base class for data-model errors."""
+
+
+class AdmTypeError(AdmError):
+    """A value does not conform to its declared ADM datatype."""
+
+
+class AdmParseError(AdmError):
+    """Raw input bytes/text could not be parsed into an ADM value."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class DuplicateKeyError(StorageError):
+    """INSERT found an existing record with the same primary key."""
+
+    def __init__(self, key):
+        super().__init__(f"duplicate primary key: {key!r}")
+        self.key = key
+
+
+class KeyNotFoundError(StorageError):
+    """DELETE/lookup referenced a primary key that does not exist."""
+
+    def __init__(self, key):
+        super().__init__(f"primary key not found: {key!r}")
+        self.key = key
+
+
+class IndexError_(StorageError):
+    """A secondary index is missing or cannot serve the requested probe."""
+
+
+class HyracksError(ReproError):
+    """Base class for runtime (job execution) errors."""
+
+
+class JobSpecificationError(HyracksError):
+    """A job DAG is malformed (dangling connector, cycle, arity mismatch)."""
+
+
+class PartitionHolderError(HyracksError):
+    """Cross-job frame exchange failed (unknown holder id, closed holder)."""
+
+
+class SqlppError(ReproError):
+    """Base class for SQL++ front-end errors."""
+
+
+class SqlppSyntaxError(SqlppError):
+    """The query text failed to lex or parse."""
+
+    def __init__(self, message, line=None, column=None):
+        loc = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class SqlppAnalysisError(SqlppError):
+    """Semantic analysis failed (unknown dataset, unbound variable...)."""
+
+
+class SqlppEvaluationError(SqlppError):
+    """Runtime evaluation of an expression failed."""
+
+
+class UdfError(ReproError):
+    """Base class for user-defined-function errors."""
+
+
+class UdfRegistrationError(UdfError):
+    """A UDF could not be registered (name clash, bad arity)."""
+
+
+class IngestionError(ReproError):
+    """Base class for feed/ingestion errors."""
+
+
+class FeedStateError(IngestionError):
+    """A feed operation was issued in the wrong lifecycle state."""
+
+
+class StreamingJoinError(IngestionError):
+    """A stateful UDF cannot be evaluated with the streaming model (Model 3).
+
+    Mirrors Section 4.3.4 of the paper: a hash join whose build side spills
+    to disk expects to re-read the probe side, which is impossible when the
+    probe side is an unbounded feed.
+    """

@@ -1,0 +1,171 @@
+"""Connectors: routing strategies between operator partitions.
+
+A connector takes frames produced by one operator partition and routes
+records to the consumer's partitions.  Cross-node hops charge transfer cost
+to the producing node (the sending CPU does the serialization work).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .frame import DEFAULT_FRAME_CAPACITY, Frame
+
+
+class RoutingStrategy:
+    """Decides, per record, which consumer partition(s) receive it."""
+
+    def route(self, record: dict, producer_partition: int, fanout: int) -> List[int]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class OneToOne(RoutingStrategy):
+    """Partition i feeds consumer partition i (pipelining, no shuffle)."""
+
+    def route(self, record, producer_partition, fanout):
+        return [producer_partition % fanout]
+
+
+class RoundRobin(RoutingStrategy):
+    """Distribute records evenly — the intake job's partitioner (§6.2).
+
+    Each producer partition keeps its own rotation cursor so the global
+    distribution stays within ±1 record per consumer.
+    """
+
+    def __init__(self):
+        self._cursors = {}
+
+    def route(self, record, producer_partition, fanout):
+        cursor = self._cursors.get(producer_partition, producer_partition)
+        self._cursors[producer_partition] = (cursor + 1) % fanout
+        return [cursor % fanout]
+
+
+class HashPartition(RoutingStrategy):
+    """Route by a hash of a key extracted from the record (storage §6.2)."""
+
+    def __init__(self, key_fn: Callable[[dict], object]):
+        self.key_fn = key_fn
+
+    def route(self, record, producer_partition, fanout):
+        from ..storage.dataset import hash_partition
+
+        return [hash_partition(self.key_fn(record), fanout)]
+
+
+class Broadcast(RoutingStrategy):
+    """Replicate every record to all consumer partitions.
+
+    Used by index-nested-loop joins that must probe every node's local
+    index partition (the Nearby Monuments limitation in §7.4.2).
+    """
+
+    def route(self, record, producer_partition, fanout):
+        return list(range(fanout))
+
+
+class ConnectorRuntime:
+    """Per-edge runtime: buffers per consumer partition, flushes as frames."""
+
+    def __init__(
+        self,
+        strategy: RoutingStrategy,
+        consumers,  # list of FrameWriter, one per consumer partition
+        producer_nodes: List[int],
+        consumer_nodes: List[int],
+        charge: Callable[[int, float], None],  # (node, seconds) -> None
+        transfer_cost: float,
+        frame_capacity: int = DEFAULT_FRAME_CAPACITY,
+    ):
+        self.strategy = strategy
+        self.consumers = consumers
+        self.producer_nodes = producer_nodes
+        self.consumer_nodes = consumer_nodes
+        self.charge = charge
+        self.transfer_cost = transfer_cost
+        self.frame_capacity = frame_capacity
+        self._buffers = [[] for _ in consumers]
+        self._open_count = 0
+
+    def writer_for_producer(self, producer_partition: int) -> "_ConnectorWriter":
+        return _ConnectorWriter(self, producer_partition)
+
+    # Internal: called by _ConnectorWriter ---------------------------------
+
+    def _producer_opened(self) -> None:
+        if self._open_count == 0:
+            for consumer in self.consumers:
+                consumer.open()
+        self._open_count += 1
+
+    def _producer_closed(self) -> None:
+        self._open_count -= 1
+        if self._open_count == 0:
+            for idx in range(len(self.consumers)):
+                self._flush(idx)
+            for consumer in self.consumers:
+                consumer.close()
+
+    def _push(self, record: dict, producer_partition: int) -> None:
+        targets = self.strategy.route(record, producer_partition, len(self.consumers))
+        producer_node = self.producer_nodes[producer_partition]
+        for target in targets:
+            if self.consumer_nodes[target] != producer_node:
+                self.charge(producer_node, self.transfer_cost)
+            self._buffers[target].append(record)
+            if len(self._buffers[target]) >= self.frame_capacity:
+                self._flush(target)
+
+    def _flush(self, target: int) -> None:
+        if self._buffers[target]:
+            frame = Frame(self._buffers[target])
+            self._buffers[target] = []
+            self.consumers[target].next_frame(frame)
+
+
+class _ConnectorWriter:
+    """The FrameWriter a producer partition pushes into."""
+
+    def __init__(self, runtime: ConnectorRuntime, producer_partition: int):
+        self.runtime = runtime
+        self.producer_partition = producer_partition
+
+    def open(self) -> None:
+        self.runtime._producer_opened()
+
+    def next_frame(self, frame: Frame) -> None:
+        for record in frame:
+            self.runtime._push(record, self.producer_partition)
+
+    def close(self) -> None:
+        self.runtime._producer_closed()
+
+    def fail(self) -> None:
+        self.close()
+
+
+class FanOutWriter:
+    """Duplicates one producer's output to several downstream writers."""
+
+    def __init__(self, writers):
+        self.writers = list(writers)
+
+    def open(self) -> None:
+        for writer in self.writers:
+            writer.open()
+
+    def next_frame(self, frame: Frame) -> None:
+        for writer in self.writers:
+            writer.next_frame(frame)
+
+    def close(self) -> None:
+        for writer in self.writers:
+            writer.close()
+
+    def fail(self) -> None:
+        for writer in self.writers:
+            writer.fail()

@@ -1,0 +1,219 @@
+"""The job executor: runs a job specification on a simulated cluster.
+
+Operator logic executes for real, in-process; simulated time is charged to
+the node each partition is placed on.  A job's makespan is::
+
+    startup(num_nodes, predeployed) + max over nodes of busy-seconds
+
+which captures the two effects the paper's evaluation revolves around:
+per-invocation overhead growing with cluster size, and work shrinking with
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import JobSpecificationError
+from .connectors import ConnectorRuntime, FanOutWriter
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .frame import Frame, FrameWriter
+from .job import JobSpecification, OperatorContext, OperatorDescriptor, SourceOperator
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job execution."""
+
+    job_name: str
+    makespan_seconds: float
+    node_busy_seconds: Dict[int, float]
+    startup_seconds: float
+    records_out: int = 0
+    per_operator_busy: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def critical_node_seconds(self) -> float:
+        return max(self.node_busy_seconds.values()) if self.node_busy_seconds else 0.0
+
+
+class _MergingWriter(FrameWriter):
+    """Collapses N inbound edges into one open/close pair for the consumer."""
+
+    def __init__(self, target: FrameWriter, expected: int):
+        self.target = target
+        self.expected = expected
+        self._opened = 0
+        self._closed = 0
+
+    def open(self) -> None:
+        self._opened += 1
+        if self._opened == 1:
+            self.target.open()
+
+    def next_frame(self, frame: Frame) -> None:
+        self.target.next_frame(frame)
+
+    def close(self) -> None:
+        self._closed += 1
+        if self._closed == self.expected:
+            self.target.close()
+
+    def fail(self) -> None:
+        self.target.fail()
+
+
+class LocalJobRunner:
+    """Executes job specifications against a cluster of ``num_nodes``.
+
+    One runner is shared across the jobs of a feed so connectors and
+    operators can coordinate through ``shared_state``.
+    """
+
+    def __init__(self, num_nodes: int, cost_model: Optional[CostModel] = None):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.shared_state: Dict[object, object] = {}
+        self.current_job_name = ""
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------ place
+
+    def node_of(self, op: OperatorDescriptor, partition: int) -> int:
+        if op.nodes is not None:
+            return op.nodes[partition]
+        return partition % self.num_nodes
+
+    # ---------------------------------------------------------------- execute
+
+    def execute(
+        self,
+        spec: JobSpecification,
+        predeployed: bool = False,
+        extra_node_busy: Optional[Dict[int, float]] = None,
+    ) -> JobResult:
+        """Run a job to completion and return its result.
+
+        ``extra_node_busy`` lets callers fold pre-charged work (e.g. a
+        partition holder hand-off) into the makespan computation.
+        """
+        spec.validate()
+        self.current_job_name = spec.name
+        self.jobs_executed += 1
+
+        # Instantiate every operator partition with its context.
+        instances: Dict[int, List] = {}
+        contexts: Dict[int, List[OperatorContext]] = {}
+        for op in spec.operators:
+            instances[op.op_id] = []
+            contexts[op.op_id] = []
+            for p in range(op.partitions):
+                ctx = OperatorContext(p, op.partitions, self.node_of(op, p), self)
+                contexts[op.op_id].append(ctx)
+                instances[op.op_id].append(op.factory(ctx))
+
+        node_busy: Dict[int, float] = {n: 0.0 for n in range(self.num_nodes)}
+
+        def charge_node(node: int, seconds: float) -> None:
+            node_busy[node] += seconds
+
+        # Wire connectors.  Consumers with multiple inbound edges get a
+        # merging writer so open/close pair up; producers with multiple
+        # outbound edges get a fan-out writer.
+        inbound_counts = {op.op_id: len(spec.inbound(op)) for op in spec.operators}
+        consumer_targets: Dict[int, List[FrameWriter]] = {}
+        for op in spec.operators:
+            expected = inbound_counts[op.op_id]
+            if expected > 1:
+                consumer_targets[op.op_id] = [
+                    _MergingWriter(inst, expected) for inst in instances[op.op_id]
+                ]
+            else:
+                consumer_targets[op.op_id] = list(instances[op.op_id])
+
+        producer_writers: Dict[int, List[List[FrameWriter]]] = {
+            op.op_id: [[] for _ in range(op.partitions)] for op in spec.operators
+        }
+        for conn in spec.connectors:
+            runtime = ConnectorRuntime(
+                strategy=conn.strategy,
+                consumers=consumer_targets[conn.consumer.op_id],
+                producer_nodes=[
+                    self.node_of(conn.producer, p)
+                    for p in range(conn.producer.partitions)
+                ],
+                consumer_nodes=[
+                    self.node_of(conn.consumer, p)
+                    for p in range(conn.consumer.partitions)
+                ],
+                charge=charge_node,
+                transfer_cost=self.cost_model.transfer_per_record,
+            )
+            for p in range(conn.producer.partitions):
+                producer_writers[conn.producer.op_id][p].append(
+                    runtime.writer_for_producer(p)
+                )
+
+        for op in spec.operators:
+            for p, instance in enumerate(instances[op.op_id]):
+                writers = producer_writers[op.op_id][p]
+                if len(writers) == 1:
+                    instance.set_output(writers[0])
+                elif len(writers) > 1:
+                    instance.set_output(FanOutWriter(writers))
+
+        # Drive the sources in topological order; frames propagate
+        # synchronously through the wired writers.
+        sources = [op for op in spec.topological_order() if not spec.inbound(op)]
+        for op in sources:
+            for instance in instances[op.op_id]:
+                if not isinstance(instance, SourceOperator):
+                    raise JobSpecificationError(
+                        f"operator {op.name} has no inputs but is not a source"
+                    )
+        # Open every source before running any, and close every source only
+        # after all have run: connectors count producer opens/closes, so
+        # blocking consumers (sort, group-by) must see one open/close pair.
+        for op in sources:
+            for instance in instances[op.op_id]:
+                instance.open()
+        for op in sources:
+            for instance in instances[op.op_id]:
+                instance.run()
+        for op in sources:
+            for instance in instances[op.op_id]:
+                instance.close()
+
+        # Aggregate busy time per node and per operator.
+        per_operator_busy: Dict[str, float] = {}
+        records_out = 0
+        for op in spec.operators:
+            op_busy = 0.0
+            for ctx in contexts[op.op_id]:
+                node_busy[ctx.node] += ctx.busy_seconds
+                op_busy += ctx.busy_seconds
+            per_operator_busy[op.name] = op_busy
+            for instance in instances[op.op_id]:
+                records_out += getattr(instance, "written", 0)
+
+        if extra_node_busy:
+            for node, seconds in extra_node_busy.items():
+                node_busy[node] = node_busy.get(node, 0.0) + seconds
+
+        startup = self.cost_model.job_startup(self.num_nodes, predeployed)
+        makespan = (
+            startup
+            + max(node_busy.values())
+            + self.cost_model.job_teardown(self.num_nodes)
+        )
+        return JobResult(
+            job_name=spec.name,
+            makespan_seconds=makespan,
+            node_busy_seconds=node_busy,
+            startup_seconds=startup,
+            records_out=records_out,
+            per_operator_busy=per_operator_busy,
+        )

@@ -1,0 +1,50 @@
+"""Operator library for the Hyracks runtime."""
+
+from .basic import (
+    AssignOperator,
+    FilterOperator,
+    LimitOperator,
+    ParseOperator,
+    ProjectOperator,
+    UnionAllOperator,
+)
+from .joins import (
+    HashJoinOperator,
+    IndexNestedLoopJoinOperator,
+    NestedLoopJoinOperator,
+)
+from .sinks import CallbackSink, CollectSink, DatasetWriteSink, NullSink
+from .sort_group import (
+    Aggregator,
+    HashGroupByOperator,
+    SortOperator,
+    collect_aggregator,
+    count_aggregator,
+    sum_aggregator,
+)
+from .sources import CallbackSource, DatasetScanSource, ListSource
+
+__all__ = [
+    "Aggregator",
+    "AssignOperator",
+    "CallbackSink",
+    "CallbackSource",
+    "CollectSink",
+    "DatasetScanSource",
+    "DatasetWriteSink",
+    "FilterOperator",
+    "HashGroupByOperator",
+    "HashJoinOperator",
+    "IndexNestedLoopJoinOperator",
+    "LimitOperator",
+    "ListSource",
+    "NestedLoopJoinOperator",
+    "NullSink",
+    "ParseOperator",
+    "ProjectOperator",
+    "SortOperator",
+    "UnionAllOperator",
+    "collect_aggregator",
+    "count_aggregator",
+    "sum_aggregator",
+]

@@ -1,0 +1,215 @@
+"""Join operators: hash join (with spill detection), index NLJ, naive NLJ.
+
+The build side of every join is a *stored dataset provider* — a callable
+returning the local build records — because in the paper's enrichment
+pipelines the build side is always reference data.  The probe side streams
+through the operator.  This mirrors Section 4.3.4's three scenarios:
+
+* small build side  -> in-memory hash table, probe streams through;
+* large build side  -> the hash join *spills*; if the probe is an unbounded
+  feed the join cannot complete (``StreamingJoinError``);
+* an index on the build side -> index nested-loop join, probing live data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ...errors import StreamingJoinError
+from ..frame import Frame
+from ..job import Operator, OperatorContext
+
+
+class HashJoinOperator(Operator):
+    """Build-and-probe hash join against a dataset provider.
+
+    ``build_provider(partition)`` yields the build records visible to this
+    partition; ``build_key_fn``/``probe_key_fn`` extract equi-join keys;
+    ``combine_fn(probe_record, matches) -> output record(s)`` shapes the
+    result (enrichment keeps the probe record and attaches match data).
+
+    ``memory_budget_records`` models the in-memory hash table capacity:
+    exceeding it spills the overflow partition.  Spilling is fine for
+    bounded jobs (we process the spilled partition after the probe input
+    closes) but fatal when ``unbounded_probe`` is set.
+    """
+
+    def __init__(
+        self,
+        ctx: OperatorContext,
+        build_provider: Callable[[int], Iterable[dict]],
+        build_key_fn: Callable[[dict], object],
+        probe_key_fn: Callable[[dict], object],
+        combine_fn: Callable[[dict, List[dict]], object],
+        memory_budget_records: Optional[int] = None,
+        unbounded_probe: bool = False,
+        keep_unmatched_probe: bool = True,
+    ):
+        super().__init__(ctx)
+        self.build_provider = build_provider
+        self.build_key_fn = build_key_fn
+        self.probe_key_fn = probe_key_fn
+        self.combine_fn = combine_fn
+        self.memory_budget = memory_budget_records
+        self.unbounded_probe = unbounded_probe
+        self.keep_unmatched_probe = keep_unmatched_probe
+        self._table: Dict[object, List[dict]] = {}
+        self._spilled: List[dict] = []
+        self._spilled_probe: List[dict] = []
+        self.spilled = False
+
+    def open(self) -> None:
+        """Build phase: scan the provider into the in-memory hash table."""
+        build_count = 0
+        for record in self.build_provider(self.ctx.partition):
+            build_count += 1
+            if self.memory_budget is not None and build_count > self.memory_budget:
+                self.spilled = True
+                self._spilled.append(record)
+                continue
+            key = self.build_key_fn(record)
+            self._table.setdefault(key, []).append(record)
+        self.ctx.charge(
+            self.ctx.cost.scan_per_record * build_count
+            + self.ctx.cost.hash_build_per_record * build_count
+        )
+        if self.spilled and self.unbounded_probe:
+            raise StreamingJoinError(
+                "hash join build side exceeds memory and the probe side is an "
+                "unbounded feed: spilled partitions can never be re-joined "
+                "(paper §4.3.4, case 2)"
+            )
+        super().open()
+
+    def next_frame(self, frame: Frame) -> None:
+        self.ctx.charge(self.ctx.cost.hash_probe_per_record * len(frame))
+        out: List[dict] = []
+        for record in frame:
+            if self.spilled:
+                # Probe tuples may match spilled build tuples; buffer them
+                # for the post-close recursive round (bounded inputs only).
+                self._spilled_probe.append(record)
+            matches = self._table.get(self.probe_key_fn(record), [])
+            result = self._combine(record, matches, emit_unmatched=not self.spilled)
+            out.extend(result)
+        if out:
+            self.emit(Frame(out))
+
+    def _combine(self, record, matches, emit_unmatched=True) -> List[dict]:
+        if not matches and not self.keep_unmatched_probe:
+            return []
+        if not matches and self.spilled and not emit_unmatched:
+            return []  # defer: the spilled round may still match it
+        produced = self.combine_fn(record, matches)
+        if produced is None:
+            return []
+        return produced if isinstance(produced, list) else [produced]
+
+    def close(self) -> None:
+        if self.spilled and self._spilled:
+            # Recursive round: join buffered probe tuples against the
+            # spilled build partition (extra I/O pass charged).
+            spill_table: Dict[object, List[dict]] = {}
+            for record in self._spilled:
+                spill_table.setdefault(self.build_key_fn(record), []).append(record)
+            self.ctx.charge(
+                self.ctx.cost.hash_build_per_record * len(self._spilled)
+                + self.ctx.cost.scan_per_record * len(self._spilled)  # re-read
+                + self.ctx.cost.hash_probe_per_record * len(self._spilled_probe)
+                + self.ctx.cost.scan_per_record * len(self._spilled_probe)
+            )
+            out: List[dict] = []
+            for record in self._spilled_probe:
+                key = self.probe_key_fn(record)
+                matches = self._table.get(key, []) + spill_table.get(key, [])
+                if matches or self.keep_unmatched_probe:
+                    produced = self.combine_fn(record, matches)
+                    if produced is not None:
+                        out.extend(
+                            produced if isinstance(produced, list) else [produced]
+                        )
+            if out:
+                self.emit(Frame(out))
+        self._table = {}
+        self._spilled = []
+        self._spilled_probe = []
+        super().close()
+
+
+class IndexNestedLoopJoinOperator(Operator):
+    """Probe a live dataset index once per incoming record (§4.3.4 case 3).
+
+    Because every probe reads current index state, this operator observes
+    reference-data changes mid-batch — no intermediate state to refresh.
+
+    ``probe_fn(dataset, record) -> iterable of matching reference records``
+    encapsulates the index access (B-tree equality or R-tree spatial);
+    ``combine_fn(record, matches)`` shapes the output.
+    """
+
+    def __init__(
+        self,
+        ctx: OperatorContext,
+        dataset,
+        probe_fn: Callable[[object, dict], Iterable[dict]],
+        combine_fn: Callable[[dict, List[dict]], object],
+    ):
+        super().__init__(ctx)
+        self.dataset = dataset
+        self.probe_fn = probe_fn
+        self.combine_fn = combine_fn
+
+    def next_frame(self, frame: Frame) -> None:
+        cost = self.ctx.cost
+        out: List[dict] = []
+        penalty = cost.lsm_active_penalty if self.dataset.update_activity else 1.0
+        for record in frame:
+            matches = list(self.probe_fn(self.dataset, record))
+            self.ctx.charge(
+                (cost.btree_probe + cost.scan_per_record * len(matches)) * penalty
+            )
+            produced = self.combine_fn(record, matches)
+            if produced is None:
+                continue
+            out.extend(produced if isinstance(produced, list) else [produced])
+        if out:
+            self.emit(Frame(out))
+
+
+class NestedLoopJoinOperator(Operator):
+    """Naive nested-loop join against a provider (the no-index hint path)."""
+
+    def __init__(
+        self,
+        ctx: OperatorContext,
+        build_provider: Callable[[int], Iterable[dict]],
+        predicate: Callable[[dict, dict], bool],
+        combine_fn: Callable[[dict, List[dict]], object],
+    ):
+        super().__init__(ctx)
+        self.build_provider = build_provider
+        self.predicate = predicate
+        self.combine_fn = combine_fn
+        self._build: Optional[List[dict]] = None
+
+    def open(self) -> None:
+        self._build = list(self.build_provider(self.ctx.partition))
+        self.ctx.charge(self.ctx.cost.scan_per_record * len(self._build))
+        super().open()
+
+    def next_frame(self, frame: Frame) -> None:
+        cost = self.ctx.cost
+        out: List[dict] = []
+        for record in frame:
+            self.ctx.charge(cost.nlj_per_pair * len(self._build))
+            matches = [b for b in self._build if self.predicate(record, b)]
+            produced = self.combine_fn(record, matches)
+            if produced is None:
+                continue
+            out.extend(produced if isinstance(produced, list) else [produced])
+        if out:
+            self.emit(Frame(out))
+
+    def close(self) -> None:
+        self._build = None
+        super().close()

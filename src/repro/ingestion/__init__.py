@@ -1,0 +1,39 @@
+"""The IDEA ingestion framework: static vs dynamic pipelines, feeds, AFM."""
+
+from .adapter import FeedAdapter, FileAdapter, GeneratorAdapter, QueueAdapter, chunked
+from .feed import (
+    AttachedFunction,
+    BatchStats,
+    ComputingModel,
+    FeedDefinition,
+    FeedRunReport,
+    Framework,
+)
+from .pipelines import (
+    ActiveFeedManager,
+    DynamicIngestionPipeline,
+    StaticIngestionPipeline,
+)
+from .udf_operator import UdfEvaluatorOperator, make_invoker
+from .updates import CompositeUpdateClient, ReferenceUpdateClient
+
+__all__ = [
+    "ActiveFeedManager",
+    "AttachedFunction",
+    "BatchStats",
+    "CompositeUpdateClient",
+    "ComputingModel",
+    "DynamicIngestionPipeline",
+    "FeedAdapter",
+    "FeedDefinition",
+    "FeedRunReport",
+    "FileAdapter",
+    "Framework",
+    "GeneratorAdapter",
+    "QueueAdapter",
+    "ReferenceUpdateClient",
+    "StaticIngestionPipeline",
+    "UdfEvaluatorOperator",
+    "chunked",
+    "make_invoker",
+]

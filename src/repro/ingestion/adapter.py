@@ -1,0 +1,117 @@
+"""Feed adapters: how external data enters the system (paper §2.3).
+
+An adapter obtains/receives data from an external source as raw bytes and
+arranges it into frames.  We provide:
+
+* :class:`GeneratorAdapter` — wraps any iterator of raw JSON strings (the
+  synthetic firehose used by the benchmarks);
+* :class:`QueueAdapter` — a socket-feed stand-in: an external producer
+  ``send()``s records, the feed drains them;
+* :class:`FileAdapter` — replays newline-delimited JSON from a file.
+
+Adapters yield *envelopes* ``{"raw": <json text>}``; parsing into typed ADM
+records is a separate pipeline stage (coupled with intake in the old
+framework, moved into the computing job in the new one).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import FeedStateError
+
+
+class FeedAdapter:
+    """Base adapter protocol: an iterator of raw-record envelopes."""
+
+    def envelopes(self) -> Iterator[Dict[str, str]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release external resources (no-op by default)."""
+
+
+class GeneratorAdapter(FeedAdapter):
+    """Adapter over an in-process generator of raw JSON strings."""
+
+    def __init__(self, raw_records: Iterable[str]):
+        self._source = iter(raw_records)
+        self.received = 0
+
+    def envelopes(self) -> Iterator[Dict[str, str]]:
+        for raw in self._source:
+            self.received += 1
+            yield {"raw": raw}
+
+
+class QueueAdapter(FeedAdapter):
+    """Socket-style adapter: producers push, the feed drains.
+
+    ``send`` enqueues one raw record; ``end`` marks the stream complete.
+    Iterating past the current queue contents before ``end`` raises — the
+    orchestrator must only pull what has arrived.
+    """
+
+    def __init__(self):
+        self._queue: deque = deque()
+        self._ended = False
+        self.received = 0
+
+    def send(self, raw: str) -> None:
+        if self._ended:
+            raise FeedStateError("adapter already ended; cannot send more data")
+        self._queue.append(raw)
+
+    def send_many(self, raws: Iterable[str]) -> None:
+        for raw in raws:
+            self.send(raw)
+
+    def end(self) -> None:
+        self._ended = True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def envelopes(self) -> Iterator[Dict[str, str]]:
+        while True:
+            if self._queue:
+                self.received += 1
+                yield {"raw": self._queue.popleft()}
+            elif self._ended:
+                return
+            else:
+                raise FeedStateError(
+                    "queue adapter drained before end(); push data or end the feed"
+                )
+
+
+class FileAdapter(FeedAdapter):
+    """Replays newline-delimited JSON records from a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.received = 0
+
+    def envelopes(self) -> Iterator[Dict[str, str]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self.received += 1
+                    yield {"raw": line}
+
+
+def chunked(iterator: Iterator, size: int) -> Iterator[List]:
+    """Yield lists of up to ``size`` items from an iterator."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    chunk: List = []
+    for item in iterator:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

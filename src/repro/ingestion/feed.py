@@ -1,0 +1,114 @@
+"""Feed definitions and run reports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Framework(enum.Enum):
+    """Which ingestion framework executes the feed."""
+
+    STATIC = "static"  # the old AsterixDB pipeline (one continuous job)
+    DYNAMIC = "dynamic"  # the paper's layered framework (intake/compute/store)
+
+
+class ComputingModel(enum.Enum):
+    """§4.3's three computing models for stateful UDFs on a feed."""
+
+    PER_RECORD = "per_record"  # Model 1: refresh state per record
+    PER_BATCH = "per_batch"  # Model 2: refresh state per batch (the paper's)
+    STREAM = "stream"  # Model 3: initialize once, never refresh
+
+
+@dataclass
+class AttachedFunction:
+    """A UDF attached to a feed (``APPLY FUNCTION`` in the DDL)."""
+
+    name: str
+    language: str = "sqlpp"  # 'sqlpp' | 'java'
+    library: Optional[str] = None  # java library name, e.g. 'udflib'
+
+    @property
+    def is_java(self) -> bool:
+        return self.language == "java"
+
+
+@dataclass
+class FeedDefinition:
+    """Everything needed to run one feed."""
+
+    name: str
+    target_dataset: str
+    datatype: Optional[object] = None  # adm.Datatype for parse-time coercion
+    batch_size: int = 420  # the paper's 1X
+    framework: Framework = Framework.DYNAMIC
+    computing_model: ComputingModel = ComputingModel.PER_BATCH
+    functions: List[AttachedFunction] = field(default_factory=list)
+    balanced_intake: bool = False  # adapter on all nodes vs node 0 only
+    intake_holder_capacity: int = 64  # frames per passive partition holder
+    write_mode: str = "upsert"
+    stream_memory_budget: int = 1 << 20  # records; Model 3 spill threshold
+    reference_work_scale: float = 1.0  # charge ref work as if x larger
+
+
+@dataclass
+class BatchStats:
+    """Per-computing-job observations (drives Figure 26)."""
+
+    batch_index: int
+    records: int
+    makespan_seconds: float
+    startup_seconds: float
+    shared_state_seconds: float
+
+
+@dataclass
+class FeedRunReport:
+    """Outcome of one feed run on the simulated cluster."""
+
+    feed_name: str
+    framework: str
+    records_ingested: int
+    records_stored: int
+    simulated_seconds: float
+    intake_seconds: float
+    computing_seconds: float
+    storage_seconds: float
+    num_computing_jobs: int = 0
+    batch_stats: List[BatchStats] = field(default_factory=list)
+    stalls: int = 0  # intake backpressure events
+    fixed_start_seconds: float = 0.0  # one-time feed start cost (amortized)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state records per simulated second.
+
+        The paper measures continuous ingestion over millions of records,
+        where the once-per-feed startup (job compilation, distribution)
+        amortizes to nothing; we exclude it so scaled-down runs report the
+        same steady-state quantity.  Per-batch computing-job overheads —
+        the phenomenon the paper studies — remain fully included.
+        """
+        seconds = self.simulated_seconds - self.fixed_start_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.records_ingested / seconds
+
+    @property
+    def refresh_period(self) -> float:
+        """Mean computing-job execution time (Figure 26's metric)."""
+        if not self.batch_stats:
+            return 0.0
+        return sum(b.makespan_seconds for b in self.batch_stats) / len(
+            self.batch_stats
+        )
+
+    @property
+    def refresh_rate(self) -> float:
+        """Computing jobs per simulated second (§7.1's metric)."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.num_computing_jobs / self.simulated_seconds

@@ -1,0 +1,987 @@
+"""SQL++ evaluation with per-batch access plans (Model 2 semantics).
+
+The interpreter evaluates any expression of the subset against the stored
+catalog.  Its crucial property for the paper is *how* it accesses reference
+datasets:
+
+* **batch-cached hash access** — an equality-correlated subquery over a
+  dataset without a matching index scans the dataset once per
+  :class:`EvaluationContext` generation and builds an in-memory hash table
+  (the hash-join build of §4.3.4 case 1).  Updates committed after the
+  build are invisible until the context is refreshed — exactly the paper's
+  per-batch visibility rule (§5.1).
+* **live index probes** — a correlated predicate matching a B-tree/R-tree
+  index probes the *live* index, so it observes updates mid-batch (§4.3.4
+  case 3, the Nearby Monuments plan).
+* **batch-cached uncorrelated subqueries** — a subquery with no free outer
+  variables (e.g. Figure 18's top-10 countries) is evaluated once per
+  context generation and cached.
+
+A *computing job* gives every batch a fresh context generation; the *old*
+static framework reuses one generation for the feed's lifetime, which is
+precisely why it serves stale enrichments.
+
+Work-unit accounting: cache *builds* meter onto ``ctx.shared_meter``
+(that work is partitioned across the cluster by the computing job), while
+per-record probe work meters onto ``ctx.meter`` (per-partition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..adm.schema import field_path as record_field_path
+from ..adm.values import MISSING
+from ..errors import SqlppAnalysisError, SqlppEvaluationError
+from ..hyracks.cost import WorkMeter
+from ..storage.index import IndexKind
+from .analysis import (
+    contains_aggregate,
+    field_path_of,
+    free_vars,
+    references_only,
+    split_conjuncts,
+)
+from .ast import (
+    ArrayConstructor,
+    BinaryOp,
+    Call,
+    CaseExpr,
+    Exists,
+    Expr,
+    FieldAccess,
+    FromTerm,
+    IndexAccess,
+    Literal,
+    MissingLiteral,
+    ObjectConstructor,
+    SelectBlock,
+    Star,
+    Subquery,
+    UnaryOp,
+    VarRef,
+)
+from .functions import AGGREGATE_NAMES, BUILTINS
+
+
+class EvaluationContext:
+    """Catalog + functions + work meters + the per-batch cache."""
+
+    def __init__(
+        self,
+        catalog: Dict[str, object],
+        functions=None,
+        meter: Optional[WorkMeter] = None,
+        allow_index: bool = True,
+        reference_work_scale: float = 1.0,
+    ):
+        self.catalog = catalog
+        self.functions = functions  # repro.udf.FunctionRegistry or None
+        self.reference_work_scale = reference_work_scale
+        self.meter = meter if meter is not None else WorkMeter()
+        self.meter.scale = reference_work_scale
+        self.shared_meter = WorkMeter(scale=reference_work_scale)
+        # Work replicated on EVERY node (node-local resource-file reads):
+        # charged in full to each node, unlike shared_meter which is
+        # partitioned work divided across the cluster.
+        self.replicated_meter = WorkMeter(scale=reference_work_scale)
+        self.allow_index = allow_index
+        self.batch_cache: Dict[object, object] = {}
+        self.generation = 0
+        self.cluster_nodes = 1  # set by the ingestion pipelines
+
+    def refresh_batch(self) -> None:
+        """Drop all cached intermediate state (a new batch begins)."""
+        self.batch_cache.clear()
+        self.generation += 1
+
+    def dataset(self, name: str):
+        return self.catalog.get(name)
+
+
+class Env:
+    """A lexical scope chain of variable bindings."""
+
+    __slots__ = ("vars", "parent", "group", "group_key_values")
+
+    def __init__(self, vars=None, parent: Optional["Env"] = None):
+        self.vars: Dict[str, object] = vars or {}
+        self.parent = parent
+        self.group: Optional[List["Env"]] = None  # set in group contexts
+        self.group_key_values: Optional[Dict[Expr, object]] = None
+
+    _SENTINEL = object()
+
+    def lookup(self, name: str):
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        return Env._SENTINEL
+
+    def is_bound(self, name: str) -> bool:
+        return self.lookup(name) is not Env._SENTINEL
+
+    def bound_names(self) -> Set[str]:
+        names: Set[str] = set()
+        env: Optional[Env] = self
+        while env is not None:
+            names.update(env.vars)
+            env = env.parent
+        return names
+
+    def child(self, vars=None) -> "Env":
+        return Env(vars or {}, parent=self)
+
+    def find_group(self):
+        env: Optional[Env] = self
+        while env is not None:
+            if env.group is not None:
+                return env
+            env = env.parent
+        return None
+
+
+def _truthy(value) -> bool:
+    """SQL++ WHERE semantics: NULL/MISSING are not true."""
+    if value is MISSING or value is None:
+        return False
+    return bool(value)
+
+
+def _sort_key(value):
+    """Total order across mixed/unknown values: MISSING < NULL < typed."""
+    if value is MISSING:
+        return (0, 0)
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (2, value)
+    if isinstance(value, (int, float)):
+        return (3, value)
+    if isinstance(value, str):
+        return (4, value)
+    return (5, repr(value))
+
+
+class Evaluator:
+    """Evaluates expressions of the SQL++ subset."""
+
+    def __init__(self, ctx: EvaluationContext):
+        self.ctx = ctx
+
+    # ----------------------------------------------------------------- entry
+
+    def evaluate(self, expr: Expr, env: Env):
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise SqlppEvaluationError(f"cannot evaluate node {type(expr).__name__}")
+        return method(self, expr, env)
+
+    def evaluate_query(self, expr: Expr, bindings: Optional[Dict[str, object]] = None):
+        """Evaluate a top-level query; returns its value (list for selects)."""
+        return self.evaluate(expr, Env(dict(bindings or {})))
+
+    # ------------------------------------------------------------ leaf nodes
+
+    def _eval_literal(self, expr: Literal, env: Env):
+        return expr.value
+
+    def _eval_missing(self, expr: MissingLiteral, env: Env):
+        return MISSING
+
+    def _eval_varref(self, expr: VarRef, env: Env):
+        # group-key expression lookup first (GROUP BY aliases shadow)
+        genv = env.find_group()
+        if genv is not None and genv.group_key_values:
+            if expr in genv.group_key_values:
+                return genv.group_key_values[expr]
+        value = env.lookup(expr.name)
+        if value is not Env._SENTINEL:
+            return value
+        dataset = self.ctx.dataset(expr.name)
+        if dataset is not None:
+            return _DatasetRef(dataset)
+        raise SqlppAnalysisError(f"unresolved variable: {expr.name}")
+
+    def _eval_field(self, expr: FieldAccess, env: Env):
+        genv = env.find_group()
+        if genv is not None and genv.group_key_values:
+            if expr in genv.group_key_values:
+                return genv.group_key_values[expr]
+        base = self.evaluate(expr.base, env)
+        if base is MISSING or base is None:
+            return MISSING
+        if isinstance(base, dict):
+            return base.get(expr.field, MISSING)
+        return MISSING
+
+    def _eval_index(self, expr: IndexAccess, env: Env):
+        base = self.evaluate(expr.base, env)
+        index = self.evaluate(expr.index, env)
+        if base is MISSING or index is MISSING:
+            return MISSING
+        if base is None or index is None:
+            return None
+        if not isinstance(base, list) or not isinstance(index, int):
+            return MISSING
+        if -len(base) <= index < len(base):
+            return base[index]
+        return MISSING
+
+    # ------------------------------------------------------------- operators
+
+    def _eval_unary(self, expr: UnaryOp, env: Env):
+        value = self.evaluate(expr.operand, env)
+        if expr.op == "not":
+            if value is MISSING or value is None:
+                return value
+            return not bool(value)
+        if expr.op == "-":
+            if value is MISSING or value is None:
+                return value
+            return -value
+        raise SqlppEvaluationError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_binary(self, expr: BinaryOp, env: Env):
+        op = expr.op
+        if op == "and":
+            left = self.evaluate(expr.left, env)
+            if not _truthy(left):
+                return False
+            return _truthy(self.evaluate(expr.right, env))
+        if op == "or":
+            left = self.evaluate(expr.left, env)
+            if _truthy(left):
+                return True
+            return _truthy(self.evaluate(expr.right, env))
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        if op in ("in", "not_in"):
+            return self._eval_membership(op, left, right)
+        if left is MISSING or right is MISSING:
+            return MISSING
+        if left is None or right is None:
+            return None
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "+":
+                return self._add(left, right)
+            if op == "-":
+                return self._subtract(left, right)
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+            if op == "%":
+                return left % right
+        except TypeError as exc:
+            raise SqlppEvaluationError(
+                f"operator {op!r} cannot combine "
+                f"{type(left).__name__} and {type(right).__name__}"
+            ) from exc
+        raise SqlppEvaluationError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _add(left, right):
+        from ..adm.values import DateTime, Duration
+
+        if isinstance(left, DateTime) and isinstance(right, Duration):
+            return left.add(right)
+        if isinstance(left, Duration) and isinstance(right, DateTime):
+            return right.add(left)
+        if isinstance(left, str) or isinstance(right, str):
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            raise SqlppEvaluationError("cannot add string and non-string")
+        return left + right
+
+    @staticmethod
+    def _subtract(left, right):
+        from ..adm.values import DateTime, Duration
+
+        if isinstance(left, DateTime) and isinstance(right, Duration):
+            return left.add(Duration(-right.months, -right.millis))
+        return left - right
+
+    def _eval_membership(self, op: str, left, right):
+        if right is MISSING or left is MISSING:
+            return MISSING
+        if right is None:
+            return None
+        if not isinstance(right, list):
+            raise SqlppEvaluationError("IN requires an array on the right side")
+        result = left in right
+        return result if op == "in" else not result
+
+    # ------------------------------------------------------------------ call
+
+    def _eval_call(self, expr: Call, env: Env):
+        name = expr.name.lower()
+        if expr.library is None and name in AGGREGATE_NAMES:
+            return self._eval_aggregate(expr, env)
+        args = [self.evaluate(arg, env) for arg in expr.args]
+        if expr.library is not None:
+            if self.ctx.functions is None:
+                raise SqlppAnalysisError(
+                    f"no function registry for {expr.qualified_name}"
+                )
+            return self.ctx.functions.invoke_java(
+                expr.library, expr.name, args, self.ctx
+            )
+        if self.ctx.functions is not None and self.ctx.functions.has(expr.name):
+            return self.ctx.functions.invoke(expr.name, args, self.ctx)
+        builtin = BUILTINS.lookup(name)
+        if builtin is None:
+            raise SqlppAnalysisError(f"unknown function: {expr.name}")
+        try:
+            return builtin(self.ctx, *args)
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise SqlppEvaluationError(f"{expr.name}: {exc}") from exc
+
+    def _eval_aggregate(self, expr: Call, env: Env):
+        name = expr.name.lower()
+        genv = env.find_group()
+        if genv is not None:
+            values = []
+            if expr.args and isinstance(expr.args[0], Star):
+                values = [1] * len(genv.group)
+            else:
+                arg = expr.args[0] if expr.args else Star(VarRef("*"))
+                for tuple_env in genv.group:
+                    value = self.evaluate(arg, tuple_env)
+                    if value is not MISSING and value is not None:
+                        values.append(value)
+            return _aggregate(name, values)
+        # No group: SQL++ array form — the argument must be a collection.
+        if not expr.args:
+            raise SqlppEvaluationError(f"{name}() requires an argument")
+        value = self.evaluate(expr.args[0], env)
+        if value is MISSING:
+            return MISSING
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            raise SqlppEvaluationError(
+                f"{name}() outside GROUP BY requires an array argument"
+            )
+        cleaned = [v for v in value if v is not None and v is not MISSING]
+        return _aggregate(name, cleaned)
+
+    # ----------------------------------------------------------- other nodes
+
+    def _eval_case(self, expr: CaseExpr, env: Env):
+        if expr.operand is not None:
+            operand = self.evaluate(expr.operand, env)
+            for cond, value in expr.whens:
+                if self.evaluate(cond, env) == operand:
+                    return self.evaluate(value, env)
+        else:
+            for cond, value in expr.whens:
+                if _truthy(self.evaluate(cond, env)):
+                    return self.evaluate(value, env)
+        if expr.default is not None:
+            return self.evaluate(expr.default, env)
+        return None
+
+    def _eval_object(self, expr: ObjectConstructor, env: Env):
+        out = {}
+        for name, value_expr in expr.fields:
+            value = self.evaluate(value_expr, env)
+            if value is not MISSING:
+                out[name] = value
+        return out
+
+    def _eval_array(self, expr: ArrayConstructor, env: Env):
+        return [self.evaluate(item, env) for item in expr.items]
+
+    def _eval_exists(self, expr: Exists, env: Env):
+        value = self.evaluate(expr.subquery, env)
+        if isinstance(value, list):
+            return len(value) > 0
+        return value is not MISSING and value is not None
+
+    def _eval_subquery(self, expr: Subquery, env: Env):
+        return self._cached_select(expr.select, env)
+
+    def _eval_star(self, expr: Star, env: Env):
+        raise SqlppEvaluationError("'.*' is only valid in a SELECT clause")
+
+    # ---------------------------------------------------------------- select
+
+    def _cached_select(self, block: SelectBlock, env: Env):
+        """Evaluate a select block, caching it when it has no outer refs.
+
+        Cacheable = every free variable is a catalog dataset.  The cache
+        lives for one context generation (one batch), implementing the
+        stale-until-next-batch top-10 list of Figure 18.
+        """
+        fv = free_vars(block)
+        if fv and all(name in self.ctx.catalog for name in fv):
+            key = ("uncorrelated", id(block))
+            if key not in self.ctx.batch_cache:
+                self.ctx.batch_cache[key] = self.evaluate_select(
+                    block, env, meter=self.ctx.shared_meter
+                )
+            return self.ctx.batch_cache[key]
+        return self.evaluate_select(block, env)
+
+    def evaluate_select(
+        self, block: SelectBlock, env: Env, meter: Optional[WorkMeter] = None
+    ) -> List:
+        """Full SELECT block evaluation; returns a list of results."""
+        saved_meter = None
+        if meter is not None:
+            saved_meter = self.ctx.meter
+            self.ctx.meter = meter
+        try:
+            return self._evaluate_select(block, env)
+        finally:
+            if saved_meter is not None:
+                self.ctx.meter = saved_meter
+
+    def _evaluate_select(self, block: SelectBlock, env: Env) -> List:
+        scope = env.child()
+        for let in block.lets:
+            scope.vars[let.var] = self.evaluate(let.expr, scope)
+
+        if block.from_terms:
+            tuple_envs = self._generate_tuples(block, scope)
+        else:
+            single = scope.child()
+            for let in block.post_lets:
+                single.vars[let.var] = self.evaluate(let.expr, single)
+            if block.where is not None and not _truthy(
+                self.evaluate(block.where, single)
+            ):
+                tuple_envs = []
+            else:
+                tuple_envs = [single]
+
+        implicit_group = (
+            not block.group_keys
+            and block.from_terms
+            and self._has_top_level_aggregate(block)
+        )
+        if block.group_keys or implicit_group:
+            rows = self._grouped_output(block, scope, tuple_envs, implicit_group)
+        else:
+            rows = self._ordered_projected(block, tuple_envs)
+
+        if block.distinct:
+            rows = _distinct_rows(rows)
+        if block.limit is not None:
+            limit = self.evaluate(block.limit, scope)
+            if not isinstance(limit, int) or limit < 0:
+                raise SqlppEvaluationError("LIMIT must be a non-negative integer")
+            rows = rows[:limit]
+        return rows
+
+    def _has_top_level_aggregate(self, block: SelectBlock) -> bool:
+        if block.select_value is not None and contains_aggregate(block.select_value):
+            return True
+        return any(contains_aggregate(p.expr) for p in block.projections)
+
+    # ------------------------------------------------------- tuple generation
+
+    def _generate_tuples(self, block: SelectBlock, scope: Env) -> List[Env]:
+        conjuncts = split_conjuncts(block.where)
+        outer_bound = scope.bound_names() - set(self.ctx.catalog)
+        order = self._order_terms(block.from_terms, conjuncts, outer_bound, block)
+        tuples: List[Env] = []
+
+        def recurse(idx: int, env_cur: Env, bound: Set[str], dataset_depth: int):
+            if idx == len(order):
+                final = env_cur.child()
+                for let in block.post_lets:
+                    final.vars[let.var] = self.evaluate(let.expr, final)
+                if block.where is not None and not _truthy(
+                    self.evaluate(block.where, final)
+                ):
+                    return
+                tuples.append(final)
+                return
+            term = order[idx]
+            is_dataset_term = (
+                isinstance(term.source, VarRef)
+                and term.source.name in self.ctx.catalog
+                and not env_cur.is_bound(term.source.name)
+            )
+            candidates = self._access_term(term, conjuncts, env_cur, bound, block)
+            if is_dataset_term and dataset_depth >= 1:
+                # Reference-to-reference join pairs: the outer side's
+                # candidate count is itself scaled down, so the pair work
+                # carries one extra reference-work-scale factor (pair counts
+                # are quadratic in dataset cardinality; the meter applies
+                # the other factor).
+                candidates = list(candidates)
+                self.ctx.meter.nlj_pairs += int(
+                    len(candidates) * self.ctx.reference_work_scale
+                )
+            for record in candidates:
+                recurse(
+                    idx + 1,
+                    env_cur.child({term.var: record}),
+                    bound | {term.var},
+                    dataset_depth + (1 if is_dataset_term else 0),
+                )
+
+        recurse(0, scope, set(outer_bound), 0)
+        return tuples
+
+    def _order_terms(
+        self,
+        terms: List[FromTerm],
+        conjuncts: List[Expr],
+        outer_bound: Set[str],
+        block: SelectBlock,
+    ) -> List[FromTerm]:
+        """Greedy join-order: pick next the term with a usable access path."""
+        remaining = list(terms)
+        ordered: List[FromTerm] = []
+        bound = set(outer_bound)
+        while remaining:
+            chosen = None
+            for term in remaining:
+                if self._find_access_path(term, conjuncts, bound, block) is not None:
+                    chosen = term
+                    break
+            if chosen is None:
+                chosen = remaining[0]
+            ordered.append(chosen)
+            remaining.remove(chosen)
+            bound.add(chosen.var)
+        return ordered
+
+    # ----------------------------------------------------------- access paths
+
+    def _find_access_path(
+        self,
+        term: FromTerm,
+        conjuncts: List[Expr],
+        bound: Set[str],
+        block: SelectBlock,
+    ):
+        """Return ("equality"|"spatial", field, probe_expr_builder) or None."""
+        if not isinstance(term.source, VarRef):
+            return None
+        if term.source.name not in self.ctx.catalog:
+            return None
+        var = term.var
+        allowed = bound | set(self.ctx.catalog)
+        for conjunct in conjuncts:
+            path = _match_equality(conjunct, var, allowed)
+            if path is not None:
+                return ("equality",) + path
+            path = _match_spatial(conjunct, var, allowed)
+            if path is not None:
+                return ("spatial",) + path
+        return None
+
+    def _access_term(
+        self,
+        term: FromTerm,
+        conjuncts: List[Expr],
+        env: Env,
+        bound: Set[str],
+        block: SelectBlock,
+    ) -> Iterable:
+        source = term.source
+        # Non-dataset sources: evaluate and iterate.
+        if not (
+            isinstance(source, VarRef)
+            and source.name in self.ctx.catalog
+            and not env.is_bound(source.name)
+        ):
+            value = self.evaluate(source, env)
+            if isinstance(value, _DatasetRef):
+                return self._scan_dataset(value.dataset)
+            if value is MISSING or value is None:
+                return []
+            if isinstance(value, list):
+                return value
+            raise SqlppEvaluationError(
+                f"FROM source for {term.var!r} is not iterable"
+            )
+
+        dataset = self.ctx.catalog[source.name]
+        no_index = "no-index" in term.hints or "no-index" in block.hints
+        path = self._find_access_path(term, conjuncts, bound, block)
+        if path is not None:
+            kind, field, probe_builder = path
+            if kind == "equality":
+                probe_value = self.evaluate(probe_builder, env)
+                index_name = (
+                    dataset.index_on(field, IndexKind.BTREE) if not no_index else None
+                )
+                if index_name is not None and self.ctx.allow_index:
+                    return self._btree_probe(dataset, index_name, probe_value)
+                return self._hash_probe(dataset, field, probe_value)
+            if kind == "spatial":
+                index_name = (
+                    dataset.index_on(field, IndexKind.RTREE) if not no_index else None
+                )
+                if index_name is not None and self.ctx.allow_index:
+                    query = self.evaluate(probe_builder, env)
+                    if query is MISSING or query is None:
+                        return []
+                    return self._rtree_probe(dataset, index_name, query)
+                # no index: fall through to a batch-cached scan (naive NLJ)
+        return self._scan_dataset(dataset)
+
+    # Access-path implementations ------------------------------------------
+
+    @staticmethod
+    def _penalty_units(dataset, reads: int, index_probe: bool = False) -> int:
+        """Activity-penalty units for ``reads`` reference accesses (§7.3).
+
+        Zero when the dataset's in-memory component is quiescent.  A
+        per-batch *scan* ploughs through the memtable once — its penalty
+        grows gently (sqrt) with update pressure.  *Index probes* pay the
+        memtable check on every access throughout the job, so their
+        penalty grows much faster — this is why Nearby Monuments degrades
+        to 24% under a 400/s update rate while the scan-once cases keep
+        ~52% (paper §7.3).
+        """
+        if not dataset.update_activity:
+            return 0
+        pressure = dataset.update_pressure
+        if index_probe:
+            return int(reads * (0.15 + 4.0 * pressure))
+        return int(reads * 0.35 * pressure**0.5)
+
+    def _scan_dataset(self, dataset) -> List[dict]:
+        """Batch-cached full scan (once per context generation)."""
+        key = ("scan", dataset.name)
+        cached = self.ctx.batch_cache.get(key)
+        if cached is None:
+            cached = list(dataset.scan())
+            self.ctx.batch_cache[key] = cached
+            self.ctx.shared_meter.records_scanned += len(cached)
+            self.ctx.shared_meter.penalized_reads += self._penalty_units(
+                dataset, len(cached)
+            )
+        return cached
+
+    def _hash_probe(self, dataset, field: str, probe_value) -> List[dict]:
+        """Batch-cached hash table keyed on ``field`` (§4.3.4 case 1).
+
+        The build reads the generation's scan snapshot, so pre-warming the
+        scan cache (as the stream-model pipeline does at feed start) freezes
+        the data the table will be built from.
+        """
+        key = ("hash", dataset.name, field)
+        table = self.ctx.batch_cache.get(key)
+        if table is None:
+            snapshot = self._scan_dataset(dataset)
+            table = {}
+            for record in snapshot:
+                value = record_field_path(record, field)
+                if value is not MISSING and value is not None:
+                    table.setdefault(value, []).append(record)
+            self.ctx.batch_cache[key] = table
+            self.ctx.shared_meter.hash_builds += len(snapshot)
+        self.ctx.meter.hash_probes += 1
+        if probe_value is MISSING or probe_value is None:
+            return []
+        return table.get(probe_value, [])
+
+    def _btree_probe(self, dataset, index_name: str, probe_value) -> List[dict]:
+        """Live B-tree index probe — sees mid-batch updates."""
+        self.ctx.meter.btree_probes += 1
+        self.ctx.meter.penalized_reads += self._penalty_units(
+            dataset, 1, index_probe=True
+        )
+        if probe_value is MISSING or probe_value is None:
+            return []
+        matches = list(dataset.index_probe_equal(index_name, probe_value))
+        self.ctx.meter.index_fetches += len(matches)
+        return matches
+
+    def _rtree_probe(self, dataset, index_name: str, query) -> List[dict]:
+        """Live R-tree index probe — sees mid-batch updates."""
+        before = sum(idx.nodes_visited for idx in dataset.indexes[index_name])
+        matches = list(dataset.index_probe_spatial(index_name, query))
+        after = sum(idx.nodes_visited for idx in dataset.indexes[index_name])
+        self.ctx.meter.rtree_nodes_visited += max(after - before, 1)
+        # The probe record is broadcast to every index partition (§7.4.2);
+        # this work is per record x per node, so it does not shrink as the
+        # cluster grows — the reason Nearby Monuments speeds up poorly.
+        self.ctx.meter.broadcast_records += max(
+            dataset.num_partitions, self.ctx.cluster_nodes
+        )
+        self.ctx.meter.index_fetches += len(matches)  # random record fetches
+        self.ctx.meter.penalized_reads += self._penalty_units(
+            dataset, 1 + len(matches), index_probe=True
+        )
+        return matches
+
+    # --------------------------------------------------------------- shaping
+
+    def _order_env(self, env: Env, row) -> Env:
+        """ORDER BY may reference SELECT output aliases (SQL++ semantics)."""
+        if isinstance(row, dict):
+            child = env.child(dict(row))
+            return child
+        return env
+
+    def _order_key_for(self, block: SelectBlock, env: Env, row) -> Tuple:
+        oenv = self._order_env(env, row)
+        return tuple(
+            _OrderKey(_sort_key(self.evaluate(item.expr, oenv)), item.descending)
+            for item in block.order_items
+        )
+
+    def _ordered_projected(self, block: SelectBlock, tuple_envs: List[Env]) -> List:
+        rows = [self._project(block, env) for env in tuple_envs]
+        if block.order_items:
+            self.ctx.meter.sort_items += len(rows)
+            decorated = [
+                (self._order_key_for(block, env, row), index, row)
+                for index, (env, row) in enumerate(zip(tuple_envs, rows))
+            ]
+            decorated.sort(key=lambda item: (item[0], item[1]))
+            rows = [row for _key, _index, row in decorated]
+        return rows
+
+    def _grouped_output(
+        self,
+        block: SelectBlock,
+        scope: Env,
+        tuple_envs: List[Env],
+        implicit: bool,
+    ) -> List:
+        self.ctx.meter.group_items += len(tuple_envs)
+        groups: Dict[Tuple, List[Env]] = {}
+        group_order: List[Tuple] = []
+        if implicit:
+            key_values: List[Tuple] = [()] * len(tuple_envs)
+        else:
+            key_values = [
+                tuple(self.evaluate(k.expr, env) for k in block.group_keys)
+                for env in tuple_envs
+            ]
+        for env, key in zip(tuple_envs, key_values):
+            hashable = tuple(_sort_key(v) for v in key)
+            if hashable not in groups:
+                groups[hashable] = []
+                group_order.append((hashable, key))
+            groups[hashable].append(env)
+        if implicit and not tuple_envs:
+            # SQL semantics: aggregates over an empty input yield one row.
+            group_order.append(((), ()))
+            groups[()] = []
+
+        group_envs: List[Env] = []
+        for hashable, key in group_order:
+            members = groups[hashable]
+            genv = scope.child()
+            genv.group = members
+            genv.group_key_values = {}
+            for key_spec, value in zip(block.group_keys, key):
+                genv.group_key_values[key_spec.expr] = value
+                if key_spec.alias:
+                    genv.vars[key_spec.alias] = value
+                else:
+                    # allow referring to the key by its last path component
+                    name = _default_alias(key_spec.expr, fallback=None)
+                    if name:
+                        genv.vars.setdefault(name, value)
+            group_envs.append(genv)
+
+        rows = [self._project(block, genv) for genv in group_envs]
+        if block.order_items:
+            self.ctx.meter.sort_items += len(group_envs)
+            decorated = [
+                (self._order_key_for(block, genv, row), index, row)
+                for index, (genv, row) in enumerate(zip(group_envs, rows))
+            ]
+            decorated.sort(key=lambda item: (item[0], item[1]))
+            rows = [row for _key, _index, row in decorated]
+        return rows
+
+    def _project(self, block: SelectBlock, env: Env):
+        if block.select_value is not None:
+            return self.evaluate(block.select_value, env)
+        out: Dict[str, object] = {}
+        for position, proj in enumerate(block.projections, start=1):
+            if isinstance(proj.expr, Star):
+                base = self.evaluate(proj.expr.base, env)
+                if isinstance(base, dict):
+                    out.update(base)
+                continue
+            name = proj.alias or _default_alias(proj.expr, fallback=f"${position}")
+            value = self.evaluate(proj.expr, env)
+            if value is not MISSING:
+                out[name] = value
+        return out
+
+    _DISPATCH = {}
+
+
+class _OrderKey:
+    """Comparable wrapper honoring per-item DESC flags."""
+
+    __slots__ = ("key", "descending")
+
+    def __init__(self, key, descending: bool):
+        self.key = key
+        self.descending = descending
+
+    def __lt__(self, other: "_OrderKey"):
+        if self.descending:
+            return other.key < self.key
+        return self.key < other.key
+
+    def __eq__(self, other):
+        return self.key == other.key
+
+
+class _DatasetRef:
+    """Wrapper marking a variable that resolved to a stored dataset."""
+
+    __slots__ = ("dataset",)
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+
+def _default_alias(expr: Expr, fallback: Optional[str]) -> Optional[str]:
+    if isinstance(expr, FieldAccess):
+        return expr.field
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Call):
+        return expr.name
+    return fallback
+
+
+def _aggregate(name: str, values: List):
+    if name == "count":
+        return len(values)
+    if name == "array_agg":
+        return list(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    raise SqlppEvaluationError(f"unknown aggregate {name!r}")
+
+
+def _distinct_rows(rows: List) -> List:
+    seen = set()
+    out = []
+    for row in rows:
+        key = repr(row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+# Pattern matchers for access-path selection --------------------------------
+
+
+def _match_equality(conjunct: Expr, var: str, allowed: Set[str]):
+    """Match ``var.path = <expr free of var>`` (either side)."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    outer_allowed = allowed - {var}
+    for term_side, other_side in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        path = field_path_of(term_side, var)
+        if path is not None and references_only(other_side, outer_allowed):
+            return (path, other_side)
+    return None
+
+
+def _match_spatial(conjunct: Expr, var: str, allowed: Set[str]):
+    """Match spatial_intersect patterns usable with an R-tree on ``var``.
+
+    Handled shapes (x = any expression not referencing ``var``):
+      spatial_intersect(var.f, X)                -> probe with X
+      spatial_intersect(X, var.f)                -> probe with X
+      spatial_intersect(X, create_circle(var.f, R)) -> probe with circle(X', R)
+        (point-in-circle around var.f  ==  var.f within R of the point)
+    Returns (field, probe_expr) where probe_expr evaluates to the query
+    region, or None.
+    """
+    if not (
+        isinstance(conjunct, Call)
+        and conjunct.library is None
+        and conjunct.name.lower() == "spatial_intersect"
+        and len(conjunct.args) == 2
+    ):
+        return None
+    outer_allowed = allowed - {var}
+    a, b = conjunct.args
+    for term_side, other_side in ((a, b), (b, a)):
+        path = field_path_of(term_side, var)
+        if path is not None and references_only(other_side, outer_allowed):
+            return (path, other_side)
+        # create_circle(var.f, R) vs outer point/expr
+        if (
+            isinstance(term_side, Call)
+            and term_side.library is None
+            and term_side.name.lower() == "create_circle"
+            and len(term_side.args) == 2
+        ):
+            center, radius = term_side.args
+            path = field_path_of(center, var)
+            if (
+                path is not None
+                and references_only(radius, outer_allowed)
+                and references_only(other_side, outer_allowed)
+            ):
+                probe = Call("create_circle", (other_side_center(other_side), radius))
+                return (path, probe)
+    return None
+
+
+def other_side_center(expr: Expr) -> Expr:
+    """The probe center for the circle-flip rewrite.
+
+    If the outer side is ``create_point(x, y)`` we can use it directly;
+    any other expression is used as-is (it must evaluate to a point).
+    """
+    return expr
+
+
+# Bind the dispatch table now that all methods exist.
+Evaluator._DISPATCH = {
+    Literal: Evaluator._eval_literal,
+    MissingLiteral: Evaluator._eval_missing,
+    VarRef: Evaluator._eval_varref,
+    FieldAccess: Evaluator._eval_field,
+    IndexAccess: Evaluator._eval_index,
+    UnaryOp: Evaluator._eval_unary,
+    BinaryOp: Evaluator._eval_binary,
+    Call: Evaluator._eval_call,
+    CaseExpr: Evaluator._eval_case,
+    ObjectConstructor: Evaluator._eval_object,
+    ArrayConstructor: Evaluator._eval_array,
+    Exists: Evaluator._eval_exists,
+    Subquery: Evaluator._eval_subquery,
+    Star: Evaluator._eval_star,
+    SelectBlock: Evaluator._cached_select,
+}

@@ -1,0 +1,248 @@
+"""Built-in SQL++ functions: string, numeric, spatial, temporal, aggregate.
+
+Builtins receive the evaluation context first so the expensive ones
+(edit_distance, spatial predicates) can count work units on the shared
+:class:`~repro.hyracks.cost.WorkMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..adm.values import (
+    MISSING,
+    Circle,
+    DateTime,
+    Duration,
+    Point,
+    Rectangle,
+)
+from ..adm.values import spatial_intersect as _geo_intersect
+from ..errors import SqlppEvaluationError
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max", "array_agg"})
+
+
+def edit_distance(a: str, b: str, meter=None) -> int:
+    """Levenshtein distance with O(min(a,b)) rows; meters DP cells."""
+    if len(a) < len(b):
+        a, b = b, a
+    if meter is not None:
+        meter.edit_distance_cells += (len(a) + 1) * (len(b) + 1)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def _propagate_missing(*args) -> bool:
+    return any(a is MISSING for a in args)
+
+
+class Builtins:
+    """Registry of built-in functions; looked up by lowercase name."""
+
+    def __init__(self):
+        self._fns: Dict[str, Callable] = {}
+        self._register_all()
+
+    def lookup(self, name: str):
+        return self._fns.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._fns
+
+    def register(self, name: str, fn: Callable) -> None:
+        self._fns[name.lower()] = fn
+
+    def names(self) -> List[str]:
+        return sorted(self._fns)
+
+    # ------------------------------------------------------------------ setup
+
+    def _register_all(self) -> None:
+        reg = self.register
+
+        # ------- string
+        def _str_fn(fn):
+            def wrapper(ctx, *args):
+                if _propagate_missing(*args):
+                    return MISSING
+                if any(a is None for a in args):
+                    return None
+                return fn(*args)
+
+            return wrapper
+
+        reg("contains", _str_fn(lambda s, sub: sub in s))
+        reg("lower", _str_fn(lambda s: s.lower()))
+        reg("upper", _str_fn(lambda s: s.upper()))
+        reg("trim", _str_fn(lambda s: s.strip()))
+        reg("length", _str_fn(len))
+        reg("string_length", _str_fn(len))
+        reg("starts_with", _str_fn(lambda s, p: s.startswith(p)))
+        reg("ends_with", _str_fn(lambda s, p: s.endswith(p)))
+        reg(
+            "substring",
+            _str_fn(lambda s, start, n=None: s[start:] if n is None else s[start : start + n]),
+        )
+        reg("replace", _str_fn(lambda s, old, new: s.replace(old, new)))
+        reg("split", _str_fn(lambda s, sep: s.split(sep)))
+        reg("string_concat", _str_fn(lambda parts: "".join(parts)))
+        reg("to_string", _str_fn(str))
+
+        def _edit_distance(ctx, a, b):
+            if _propagate_missing(a, b):
+                return MISSING
+            if a is None or b is None:
+                return None
+            meter = getattr(ctx, "meter", None)
+            return edit_distance(a, b, meter)
+
+        reg("edit_distance", _edit_distance)
+
+        # ------- numeric
+        reg("abs", _str_fn(abs))
+        reg("round", _str_fn(round))
+        reg("floor", _str_fn(lambda x: int(x // 1)))
+        reg("ceil", _str_fn(lambda x: -int((-x) // 1)))
+        reg("sqrt", _str_fn(lambda x: x**0.5))
+        reg("to_number", _str_fn(float))
+        reg("to_bigint", _str_fn(int))
+
+        # ------- null/missing handling
+        reg("is_missing", lambda ctx, v: v is MISSING)
+        reg("is_null", lambda ctx, v: v is None)
+        reg("is_unknown", lambda ctx, v: v is None or v is MISSING)
+
+        def _coalesce(ctx, *args):
+            for arg in args:
+                if arg is not MISSING and arg is not None:
+                    return arg
+            return None
+
+        reg("coalesce", _coalesce)
+        reg("if_missing", _coalesce)
+        reg("if_missing_or_null", _coalesce)
+
+        # ------- arrays
+        def _array_fn(fn):
+            def wrapper(ctx, arr, *rest):
+                if arr is MISSING:
+                    return MISSING
+                if arr is None:
+                    return None
+                if not isinstance(arr, list):
+                    raise SqlppEvaluationError(
+                        f"expected an array, got {type(arr).__name__}"
+                    )
+                return fn(arr, *rest)
+
+            return wrapper
+
+        reg("array_count", _array_fn(len))
+        reg("array_sum", _array_fn(lambda a: sum(x for x in a if x is not None)))
+        reg("array_min", _array_fn(lambda a: min(a) if a else None))
+        reg("array_max", _array_fn(lambda a: max(a) if a else None))
+        reg(
+            "array_avg",
+            _array_fn(lambda a: (sum(a) / len(a)) if a else None),
+        )
+        reg("array_contains", _array_fn(lambda a, v: v in a))
+        reg("array_distinct", _array_fn(_distinct))
+        reg("array_flatten", _array_fn(_flatten))
+        reg("len", _array_fn(len))
+
+        # ------- spatial
+        def _create_point(ctx, x, y):
+            if _propagate_missing(x, y):
+                return MISSING
+            if x is None or y is None:
+                return None
+            return Point(float(x), float(y))
+
+        def _create_circle(ctx, center, radius):
+            if _propagate_missing(center, radius):
+                return MISSING
+            if center is None or radius is None:
+                return None
+            if not isinstance(center, Point):
+                raise SqlppEvaluationError("create_circle: center must be a point")
+            return Circle(center, float(radius))
+
+        def _create_rectangle(ctx, p1, p2):
+            if _propagate_missing(p1, p2):
+                return MISSING
+            return Rectangle(p1.x, p1.y, p2.x, p2.y)
+
+        def _spatial_intersect(ctx, a, b):
+            if _propagate_missing(a, b):
+                return MISSING
+            if a is None or b is None:
+                return None
+            meter = getattr(ctx, "meter", None)
+            if meter is not None:
+                meter.spatial_tests += 1
+            return _geo_intersect(a, b)
+
+        def _spatial_distance(ctx, a, b):
+            if _propagate_missing(a, b):
+                return MISSING
+            if a is None or b is None:
+                return None
+            pa = a.center if isinstance(a, Circle) else a
+            pb = b.center if isinstance(b, Circle) else b
+            if not isinstance(pa, Point) or not isinstance(pb, Point):
+                raise SqlppEvaluationError("spatial_distance expects points")
+            return pa.distance_to(pb)
+
+        reg("create_point", _create_point)
+        reg("create_circle", _create_circle)
+        reg("create_rectangle", _create_rectangle)
+        reg("spatial_intersect", _spatial_intersect)
+        reg("spatial_distance", _spatial_distance)
+        reg("get_x", _str_fn(lambda p: p.x))
+        reg("get_y", _str_fn(lambda p: p.y))
+
+        # ------- temporal
+        reg("datetime", _str_fn(DateTime.parse))
+        reg("duration", _str_fn(Duration.parse))
+
+        def _get_year(ctx, dt):
+            if dt is MISSING:
+                return MISSING
+            return dt.components()[0] if dt is not None else None
+
+        reg("get_year", _get_year)
+
+
+def _distinct(arr: list) -> list:
+    seen = set()
+    out = []
+    for item in arr:
+        key = repr(item)
+        if key not in seen:
+            seen.add(key)
+            out.append(item)
+    return out
+
+
+def _flatten(arr: list) -> list:
+    out = []
+    for item in arr:
+        if isinstance(item, list):
+            out.extend(item)
+        else:
+            out.append(item)
+    return out
+
+
+BUILTINS = Builtins()

@@ -1,0 +1,178 @@
+"""Tokenizer for the SQL++ subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import SqlppSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    select value from where let group by order limit asc desc as and or not
+    in exists case when then else end true false null missing distinct
+    create function type dataset index feed primary key open closed if
+    connect to start stop apply insert into upsert delete with on rtree btree
+    having
+    """.split()
+)
+
+PUNCT = (
+    "<=",
+    ">=",
+    "!=",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "#",
+    ":",
+    "?",
+    "$",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' 'ident' 'number' 'string' 'punct' 'hint' 'eof'
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex SQL++ text into tokens; raises :class:`SqlppSyntaxError`."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        col = i - line_start + 1
+        # comments and hints
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*+", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise SqlppSyntaxError("unterminated hint comment", line, col)
+            yield Token("hint", source[i + 3 : end].strip(), line, col)
+            i = end + 2
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise SqlppSyntaxError("unterminated comment", line, col)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        # strings (single or double quoted, backslash escapes)
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append(
+                        {"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(esc, esc)
+                    )
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise SqlppSyntaxError("unterminated string literal", line, col)
+            yield Token("string", "".join(buf), line, col)
+            i = j + 1
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # don't eat '.' if it's a path separator after digits
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2
+                else:
+                    break
+            yield Token("number", source[i:j], line, col)
+            i = j
+            continue
+        # identifiers / keywords (also backtick-quoted identifiers)
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                yield Token("keyword", lower, line, col)
+            else:
+                yield Token("ident", word, line, col)
+            i = j
+            continue
+        if ch == "`":
+            end = source.find("`", i + 1)
+            if end < 0:
+                raise SqlppSyntaxError("unterminated quoted identifier", line, col)
+            yield Token("ident", source[i + 1 : end], line, col)
+            i = end + 1
+            continue
+        # punctuation (longest match first)
+        matched: Optional[str] = None
+        for punct in PUNCT:
+            if source.startswith(punct, i):
+                matched = punct
+                break
+        if matched is None:
+            raise SqlppSyntaxError(f"unexpected character {ch!r}", line, col)
+        yield Token("punct", matched, line, col)
+        i += len(matched)
+    yield Token("eof", "", line, n - line_start + 1)

@@ -1,0 +1,83 @@
+"""Statement AST nodes: DDL and DML (the paper's Figures 1, 4, 10-12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .ast import Expr, FunctionDefinition
+
+
+class Statement:
+    __slots__ = ()
+
+
+@dataclass
+class CreateType(Statement):
+    name: str
+    fields: Dict[str, str]  # field name -> type spec string ("int64", "point?")
+    is_open: bool = True
+
+
+@dataclass
+class CreateDataset(Statement):
+    name: str
+    type_name: str
+    primary_key: str
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    dataset: str
+    fields: List[str]
+    index_type: str = "btree"  # 'btree' | 'rtree'
+
+
+@dataclass
+class CreateFunction(Statement):
+    definition: FunctionDefinition
+
+
+@dataclass
+class CreateFeed(Statement):
+    name: str
+    config: Dict[str, object]
+
+
+@dataclass
+class ConnectFeed(Statement):
+    feed: str
+    dataset: str
+    apply_functions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StartFeed(Statement):
+    feed: str
+
+
+@dataclass
+class StopFeed(Statement):
+    feed: str
+
+
+@dataclass
+class InsertStatement(Statement):
+    dataset: str
+    query: Expr
+    upsert: bool = False
+
+
+@dataclass
+class DeleteStatement(Statement):
+    """``DELETE FROM dataset v WHERE cond`` — records matching cond go."""
+
+    dataset: str
+    var: str
+    where: Expr = None
+
+
+@dataclass
+class QueryStatement(Statement):
+    query: Expr

@@ -1,0 +1,28 @@
+"""Storage substrate: LSM trees, B+/R-tree indexes, partitioned datasets."""
+
+from .btree import BPlusTree
+from .component import SortedRunComponent, merge_components
+from .dataset import Dataset, hash_partition
+from .index import IndexKind, SecondaryIndex
+from .lsm import LSMStats, LSMTree
+from .memtable import TOMBSTONE, MemTable
+from .persistence import load_dataset, save_dataset
+from .rtree import RTree, mbr_of
+
+__all__ = [
+    "BPlusTree",
+    "Dataset",
+    "IndexKind",
+    "LSMStats",
+    "LSMTree",
+    "MemTable",
+    "RTree",
+    "SecondaryIndex",
+    "SortedRunComponent",
+    "TOMBSTONE",
+    "hash_partition",
+    "load_dataset",
+    "mbr_of",
+    "save_dataset",
+    "merge_components",
+]

@@ -1,0 +1,209 @@
+"""A B+-tree used for secondary indexes (value -> set of primary keys).
+
+A real node-based B+-tree with configurable order: leaf nodes hold sorted
+keys and posting sets, interior nodes route by separator keys, and leaves
+are chained for range scans.  Supports insert, delete, point and range
+probes.  The SQL++ optimizer targets this structure for equality and range
+index-nested-loop joins.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List[object] = []
+        self.children: List[_Node] = []  # interior only
+        self.values: List[Set[object]] = []  # leaf only: posting sets
+        self.next_leaf: Optional[_Node] = None
+
+
+class BPlusTree:
+    """B+-tree mapping index keys to sets of primary keys."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0  # number of (key, pk) postings
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # ----------------------------------------------------------------- search
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key) -> Set[object]:
+        """Return the set of primary keys indexed under ``key`` (copy)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return set(leaf.values[idx])
+        return set()
+
+    def range_search(
+        self, low=None, high=None, include_low=True, include_high=True
+    ) -> Iterator[Tuple[object, Set[object]]]:
+        """Yield (key, postings) pairs with keys in the requested range."""
+        if low is not None:
+            leaf = self._find_leaf(low)
+            idx = bisect.bisect_left(leaf.keys, low)
+        else:
+            leaf = self._leftmost_leaf()
+            idx = 0
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if low is not None and (key < low or (not include_low and key == low)):
+                    idx += 1
+                    continue
+                if high is not None and (
+                    key > high or (not include_high and key == high)
+                ):
+                    return
+                yield key, set(leaf.values[idx])
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def keys(self) -> Iterator[object]:
+        for key, _ in self.range_search():
+            yield key
+
+    # ----------------------------------------------------------------- insert
+
+    def insert(self, key, primary_key) -> None:
+        """Add a posting; duplicate (key, pk) pairs are idempotent."""
+        result = self._insert_into(self._root, key, primary_key)
+        if result is not None:
+            sep, right = result
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert_into(self, node: _Node, key, primary_key):
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if primary_key not in node.values[idx]:
+                    node.values[idx].add(primary_key)
+                    self._size += 1
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, {primary_key})
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        result = self._insert_into(node.children[idx], key, primary_key)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_interior(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_interior(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ----------------------------------------------------------------- delete
+
+    def delete(self, key, primary_key) -> bool:
+        """Remove one posting; returns False if it was not present.
+
+        Underfull nodes are tolerated (lazy deletion) — keys vanish from the
+        tree when their posting set empties, which keeps the structure
+        correct; rebalancing is unnecessary for our read-mostly indexes.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        postings = leaf.values[idx]
+        if primary_key not in postings:
+            return False
+        postings.discard(primary_key)
+        self._size -= 1
+        if not postings:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+        return True
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        self._check_node(self._root, None, None, is_root=True)
+        # leaf chain must be sorted globally
+        prev = None
+        for key in self.keys():
+            if prev is not None and not prev < key:
+                raise AssertionError(f"leaf chain out of order: {prev!r} !< {key!r}")
+            prev = key
+
+    def _check_node(self, node: _Node, low, high, is_root=False):
+        for i in range(1, len(node.keys)):
+            if not node.keys[i - 1] < node.keys[i]:
+                raise AssertionError("node keys not strictly sorted")
+        for key in node.keys:
+            if low is not None and key < low:
+                raise AssertionError("key below subtree lower bound")
+            if high is not None and key > high:
+                raise AssertionError("key above subtree upper bound")
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):
+                raise AssertionError("leaf keys/values length mismatch")
+        else:
+            if len(node.children) != len(node.keys) + 1:
+                raise AssertionError("interior fanout mismatch")
+            bounds = [low] + list(node.keys) + [high]
+            for i, child in enumerate(node.children):
+                self._check_node(child, bounds[i], bounds[i + 1])

@@ -1,0 +1,234 @@
+"""Datasets: hash-partitioned collections of ADM records.
+
+A :class:`Dataset` is the AsterixDB unit of storage — a collection of
+records of one datatype with a primary key, hash-partitioned across the
+cluster's storage partitions.  Each partition is an LSM tree; secondary
+indexes are partitioned the same way (local indexes, as in AsterixDB).
+
+The dataset also tracks a monotonically increasing ``version`` — bumped on
+every committed write — which the ingestion framework uses to reason about
+which reference-data state a computing job observed (Section 5.1's
+record-level consistency discussion), and an update-activity flag feeding
+the Section 7.3 cost effects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..adm.schema import primary_key_of
+from ..adm.types import Datatype
+from ..errors import IndexError_, KeyNotFoundError
+from .index import IndexKind, SecondaryIndex
+from .lsm import LSMTree
+
+
+def hash_partition(key, num_partitions: int) -> int:
+    """Deterministic hash partitioning for primary keys.
+
+    Python's builtin ``hash`` is salted per process for strings, which would
+    make partition assignment non-reproducible across runs; use a stable FNV-1a
+    over the repr instead.
+    """
+    data = repr(key).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc % num_partitions
+
+
+class Dataset:
+    """A partitioned, indexed record store."""
+
+    def __init__(
+        self,
+        name: str,
+        datatype: Datatype,
+        primary_key: str,
+        num_partitions: int = 1,
+        memtable_budget: int = 4096,
+        validate: bool = True,
+    ):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.name = name
+        self.datatype = datatype
+        self.primary_key = primary_key
+        self.num_partitions = num_partitions
+        self.validate = validate
+        self.partitions: List[LSMTree] = [
+            LSMTree(memtable_budget=memtable_budget) for _ in range(num_partitions)
+        ]
+        # index name -> per-partition SecondaryIndex list
+        self.indexes: Dict[str, List[SecondaryIndex]] = {}
+        self._index_fields: Dict[str, Tuple[str, IndexKind]] = {}
+        self.version = 0
+        self._update_listeners: List[Callable[[str, object], None]] = []
+
+    # ------------------------------------------------------------------ admin
+
+    def create_index(self, name: str, field: str, kind: IndexKind) -> None:
+        """Create a secondary index and bulk-load it from existing records."""
+        if name in self.indexes:
+            raise IndexError_(f"index {name!r} already exists on {self.name}")
+        per_partition = [SecondaryIndex(name, field, kind) for _ in self.partitions]
+        for pid, tree in enumerate(self.partitions):
+            for key, record in tree.scan():
+                per_partition[pid].on_insert(record, key)
+        self.indexes[name] = per_partition
+        self._index_fields[name] = (field, kind)
+
+    def index_on(self, field: str, kind: Optional[IndexKind] = None):
+        """Find an index over ``field`` (optionally of a specific kind)."""
+        for name, (ifield, ikind) in self._index_fields.items():
+            if ifield == field and (kind is None or kind is ikind):
+                return name
+        return None
+
+    def add_update_listener(self, callback: Callable[[str, object], None]) -> None:
+        """Register a hook fired as (operation, key) on every write."""
+        self._update_listeners.append(callback)
+
+    # ------------------------------------------------------------------ write
+
+    def _partition_of(self, key) -> int:
+        return hash_partition(key, self.num_partitions)
+
+    def _prepare(self, record: dict):
+        if self.validate:
+            self.datatype.validate(record)
+        key = primary_key_of(record, self.primary_key)
+        return key, self._partition_of(key)
+
+    def _commit(self, op: str, key) -> None:
+        self.version += 1
+        for listener in self._update_listeners:
+            listener(op, key)
+
+    def insert(self, record: dict) -> None:
+        key, pid = self._prepare(record)
+        tree = self.partitions[pid]
+        tree.insert(key, record)  # raises DuplicateKeyError on conflict
+        for per_partition in self.indexes.values():
+            per_partition[pid].on_insert(record, key)
+        self._commit("insert", key)
+
+    def upsert(self, record: dict) -> None:
+        key, pid = self._prepare(record)
+        tree = self.partitions[pid]
+        old = tree.get(key)
+        tree.upsert(key, record)
+        for per_partition in self.indexes.values():
+            per_partition[pid].on_upsert(old, record, key)
+        self._commit("upsert", key)
+
+    def delete(self, key) -> None:
+        pid = self._partition_of(key)
+        tree = self.partitions[pid]
+        old = tree.get(key)
+        if old is None:
+            raise KeyNotFoundError(key)
+        tree.delete(key)
+        for per_partition in self.indexes.values():
+            per_partition[pid].on_delete(old, key)
+        self._commit("delete", key)
+
+    def insert_many(self, records) -> int:
+        count = 0
+        for record in records:
+            self.insert(record)
+            count += 1
+        return count
+
+    def upsert_many(self, records) -> int:
+        count = 0
+        for record in records:
+            self.upsert(record)
+            count += 1
+        return count
+
+    def flush_all(self) -> None:
+        """Flush every partition's memtable (post-bulk-load quiescence).
+
+        After a bulk load the in-memory components would otherwise stay
+        active and every read would pay the §7.3 update-activity penalty;
+        real systems reach a flushed steady state.
+        """
+        for tree in self.partitions:
+            tree.flush()
+
+    # ------------------------------------------------------------------- read
+
+    def get(self, key) -> Optional[dict]:
+        return self.partitions[self._partition_of(key)].get(key)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self.partitions)
+
+    def scan(self) -> Iterator[dict]:
+        """Scan every partition (partition order, key order within)."""
+        for tree in self.partitions:
+            for _key, record in tree.scan():
+                yield record
+
+    def scan_partition(self, pid: int) -> Iterator[dict]:
+        for _key, record in self.partitions[pid].scan():
+            yield record
+
+    # -------------------------------------------------------------- index API
+
+    def index_probe_equal(self, index_name: str, value) -> Iterator[dict]:
+        """Equality probe through a B-tree index, fetching the records."""
+        for pid, index in enumerate(self.indexes[index_name]):
+            for pk in index.probe_equal(value):
+                record = self.partitions[pid].get(pk)
+                if record is not None:
+                    yield record
+
+    def index_probe_spatial(self, index_name: str, query) -> Iterator[dict]:
+        """Spatial MBR probe through an R-tree index, fetching the records."""
+        for pid, index in enumerate(self.indexes[index_name]):
+            for _value, pk in index.probe_spatial(query):
+                record = self.partitions[pid].get(pk)
+                if record is not None:
+                    yield record
+
+    # ------------------------------------------------------------ observables
+
+    @property
+    def update_activity(self) -> bool:
+        """True when any partition has an active in-memory component."""
+        return any(tree.in_memory_component_active for tree in self.partitions)
+
+    @property
+    def update_pressure(self) -> float:
+        """How full the in-memory components are (0..1).
+
+        Higher sustained update rates keep more entries in the memtables
+        between flushes, making every reference read pay more fetching,
+        locking, and comparison work (§7.3) — the cost model scales its
+        activity penalty by this.
+        """
+        return min(
+            1.0,
+            sum(
+                len(tree._memtable) / min(tree.memtable_budget, 256)
+                for tree in self.partitions
+            )
+            / len(self.partitions),
+        )
+
+    @property
+    def read_amplification(self) -> float:
+        """Mean per-partition read amplification (Section 7.3 cost input)."""
+        return sum(t.read_amplification for t in self.partitions) / len(
+            self.partitions
+        )
+
+    def storage_stats(self) -> dict:
+        out: Dict[str, int] = {}
+        for tree in self.partitions:
+            for stat_name, value in tree.stats.snapshot().items():
+                out[stat_name] = out.get(stat_name, 0) + value
+        return out

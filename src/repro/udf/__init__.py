@@ -1,0 +1,21 @@
+"""UDF framework: SQL++ and "Java" user-defined functions."""
+
+from .java import JavaUdf, JavaUdfDescriptor
+from .library import (
+    JAVA_UDF_CLASSES,
+    SQLPP_FUNCTION_NAMES,
+    SQLPP_UDFS,
+    register_paper_udfs,
+)
+from .registry import FunctionRegistry, SqlppUdf
+
+__all__ = [
+    "FunctionRegistry",
+    "JAVA_UDF_CLASSES",
+    "JavaUdf",
+    "JavaUdfDescriptor",
+    "SQLPP_FUNCTION_NAMES",
+    "SQLPP_UDFS",
+    "SqlppUdf",
+    "register_paper_udfs",
+]

@@ -1,0 +1,148 @@
+"""The function registry: SQL++ and Java UDFs, with statefulness analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UdfError, UdfRegistrationError
+from ..sqlpp.analysis import is_stateful, uses_unsupported_builtin
+from ..sqlpp.ast import FunctionDefinition
+from ..sqlpp.parser import parse_function
+
+
+class SqlppUdf:
+    """A registered SQL++ function."""
+
+    def __init__(self, definition: FunctionDefinition, stateful: bool):
+        self.definition = definition
+        self.stateful = stateful
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def arity(self) -> int:
+        return len(self.definition.params)
+
+
+class FunctionRegistry:
+    """Holds every registered UDF; consulted by the evaluator on calls.
+
+    Java instances are cached in the evaluation context's batch cache, so
+    their lifecycle follows the context generation: a dynamic computing job
+    refreshes the context per batch (re-running ``initialize`` and hence
+    re-reading resource files), while the static pipeline keeps one
+    generation for the feed's lifetime.
+    """
+
+    def __init__(self, catalog_names_provider=None):
+        self._sqlpp: Dict[str, SqlppUdf] = {}
+        self._java: Dict[str, object] = {}  # "lib#name" -> JavaUdfDescriptor
+        self._catalog_names_provider = catalog_names_provider or (lambda: set())
+
+    # ---------------------------------------------------------------- sql++
+
+    def register_sqlpp(self, definition_or_source) -> SqlppUdf:
+        if isinstance(definition_or_source, str):
+            definition = parse_function(definition_or_source)
+        else:
+            definition = definition_or_source
+        if definition.name in self._sqlpp:
+            raise UdfRegistrationError(
+                f"function {definition.name!r} already registered"
+            )
+        unknown = [
+            name
+            for name in uses_unsupported_builtin(definition)
+            if name not in self._sqlpp and name != definition.name
+        ]
+        if unknown:
+            raise UdfRegistrationError(
+                f"function {definition.name!r} calls unknown function(s): {unknown}"
+            )
+        catalog_names = set(self._catalog_names_provider())
+        stateful = is_stateful(definition, catalog_names) or any(
+            self._sqlpp[name].stateful
+            for name in uses_unsupported_builtin(definition)
+            if name in self._sqlpp
+        )
+        udf = SqlppUdf(definition, stateful)
+        self._sqlpp[definition.name] = udf
+        return udf
+
+    def replace_sqlpp(self, definition_or_source) -> SqlppUdf:
+        """UPSERT-style function replacement (§3.2: instant updates)."""
+        if isinstance(definition_or_source, str):
+            definition = parse_function(definition_or_source)
+        else:
+            definition = definition_or_source
+        self._sqlpp.pop(definition.name, None)
+        return self.register_sqlpp(definition)
+
+    # ----------------------------------------------------------------- java
+
+    def register_java(self, descriptor) -> None:
+        key = descriptor.qualified_name
+        if key in self._java:
+            raise UdfRegistrationError(f"java function {key!r} already registered")
+        self._java[key] = descriptor
+
+    # --------------------------------------------------------------- lookup
+
+    def has(self, name: str) -> bool:
+        return name in self._sqlpp
+
+    def has_java(self, library: str, name: str) -> bool:
+        return f"{library}#{name}" in self._java
+
+    def get(self, name: str) -> SqlppUdf:
+        if name not in self._sqlpp:
+            raise UdfError(f"unknown function: {name}")
+        return self._sqlpp[name]
+
+    def get_java(self, library: str, name: str):
+        key = f"{library}#{name}"
+        if key not in self._java:
+            raise UdfError(f"unknown java function: {key}")
+        return self._java[key]
+
+    def sqlpp_names(self) -> List[str]:
+        return sorted(self._sqlpp)
+
+    def java_names(self) -> List[str]:
+        return sorted(self._java)
+
+    # ------------------------------------------------------------ invocation
+
+    def invoke(self, name: str, args: List, ctx):
+        """Invoke a SQL++ UDF: bind parameters and evaluate the body."""
+        from ..sqlpp.evaluator import Env, Evaluator
+
+        udf = self.get(name)
+        if len(args) != udf.arity:
+            raise UdfError(
+                f"{name} expects {udf.arity} argument(s), got {len(args)}"
+            )
+        env = Env(dict(zip(udf.definition.params, args)))
+        return Evaluator(ctx).evaluate(udf.definition.body, env)
+
+    def invoke_java(self, library: str, name: str, args: List, ctx):
+        """Invoke a Java UDF through its per-generation cached instance."""
+        descriptor = self.get_java(library, name)
+        if len(args) != descriptor.arity:
+            raise UdfError(
+                f"{descriptor.qualified_name} expects {descriptor.arity} "
+                f"argument(s), got {len(args)}"
+            )
+        key = ("java_instance", descriptor.qualified_name)
+        instance = ctx.batch_cache.get(key)
+        if instance is None:
+            instance = descriptor.instantiate()
+            ctx.batch_cache[key] = instance
+            # Resource files are node-local: every node re-reads the whole
+            # file when a new generation initializes the UDF.
+            ctx.replicated_meter.records_scanned += instance.resource_lines_loaded
+        # Expose the meter so expensive UDFs can count work units.
+        instance.meter = ctx.meter
+        return instance(*args)

@@ -1,0 +1,12 @@
+"""Workload generators: tweets, reference datasets, update streams."""
+
+from .reference import PaperWorkload, WorkloadScale
+from .tweets import TWEET_TYPE, TWEET_TYPE_FULL, TweetGenerator
+
+__all__ = [
+    "PaperWorkload",
+    "TWEET_TYPE",
+    "TWEET_TYPE_FULL",
+    "TweetGenerator",
+    "WorkloadScale",
+]

@@ -1,0 +1,128 @@
+"""The synthetic tweet firehose.
+
+The paper ingests live-like tweets of ~450 bytes each with the fields its
+UDFs touch: ``id``, ``text``, ``country``, ``latitude``/``longitude``,
+``created_at``, and ``user.screen_name``/``user.name``.  This generator is
+deterministic under a seed and pads the text so the serialized record size
+matches the paper's ~450 bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Iterator, List
+
+from ..adm.schema import open_type
+from ..adm.types import Datatype
+
+TWEET_TYPE: Datatype = open_type(
+    "TweetType",
+    id="int64",
+    text="string",
+)
+
+#: richer variant used when parse-time coercion of created_at is wanted
+TWEET_TYPE_FULL: Datatype = open_type(
+    "TweetTypeFull",
+    id="int64",
+    text="string",
+    country="string",
+    latitude="double",
+    longitude="double",
+    created_at="datetime",
+)
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog while watching sunset near "
+    "river mountain city lights people walking streets coffee music news "
+    "weather sports game team player score win loss election travel flight"
+).split()
+
+_SENSITIVE_WORDS = ["bomb", "attack", "threat", "blast", "riot", "hostage"]
+
+
+class TweetGenerator:
+    """Deterministic tweet factory shared by all benchmarks.
+
+    ``world`` is the square [0, world_size)² coordinate domain shared with
+    the spatial reference datasets; countries/names index into the same
+    domains the reference generators use.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        num_countries: int = 200,
+        num_names: int = 2000,
+        world_size: float = 100.0,
+        sensitive_fraction: float = 0.05,
+        target_bytes: int = 450,
+        start_millis: int = 1_552_000_000_000,  # 2019-03-08T00:26:40Z
+    ):
+        self.seed = seed
+        self.num_countries = num_countries
+        self.num_names = num_names
+        self.world_size = world_size
+        self.sensitive_fraction = sensitive_fraction
+        self.target_bytes = target_bytes
+        self.start_millis = start_millis
+
+    def country(self, index: int) -> str:
+        return f"C{index % self.num_countries:04d}"
+
+    _NAME_LETTERS = "abcdefghij"
+
+    def person_name(self, index: int) -> str:
+        """Alphabetic names: digits would vanish under removeSpecial()."""
+        digits = f"{index % self.num_names:05d}"
+        return "nm" + "".join(self._NAME_LETTERS[int(d)] for d in digits)
+
+    def records(self, count: int) -> Iterator[dict]:
+        """Yield ``count`` tweet records (plain dicts, created_at as text)."""
+        rnd = random.Random(self.seed)
+        for i in range(count):
+            text_words: List[str] = [rnd.choice(_WORDS) for _ in range(18)]
+            if rnd.random() < self.sensitive_fraction:
+                text_words[rnd.randrange(len(text_words))] = rnd.choice(
+                    _SENSITIVE_WORDS
+                )
+            name_index = rnd.randrange(self.num_names)
+            record = {
+                "id": i,
+                "text": " ".join(text_words),
+                "country": self.country(rnd.randrange(self.num_countries)),
+                "latitude": round(rnd.uniform(0.0, self.world_size), 6),
+                "longitude": round(rnd.uniform(0.0, self.world_size), 6),
+                "created_at": _iso_millis(self.start_millis + i * 100),
+                "user": {
+                    "screen_name": _screen_name(rnd, self.person_name(name_index)),
+                    "name": self.person_name(name_index),
+                },
+                "lang": "en",
+                "retweet_count": rnd.randrange(100),
+            }
+            record["filler"] = "x" * max(
+                0, self.target_bytes - _base_size(record)
+            )
+            yield record
+
+    def raw_json(self, count: int) -> Iterator[str]:
+        """Yield serialized tweets — what a feed adapter receives."""
+        for record in self.records(count):
+            yield json.dumps(record, separators=(",", ":"))
+
+
+def _screen_name(rnd: random.Random, base: str) -> str:
+    decorations = ["_", ".", "-", "!", "", "123", "_x", "7"]
+    return base + rnd.choice(decorations)
+
+
+def _iso_millis(epoch_millis: int) -> str:
+    from ..adm.values import DateTime
+
+    return DateTime(epoch_millis).isoformat()
+
+
+def _base_size(record: dict) -> int:
+    return len(json.dumps(record, separators=(",", ":")))

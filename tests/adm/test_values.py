@@ -1,0 +1,152 @@
+"""DateTime/Duration arithmetic and spatial geometry."""
+
+import pytest
+
+from repro.adm import Circle, DateTime, Duration, Point, Rectangle, spatial_intersect
+from repro.adm.values import MISSING
+from repro.errors import AdmParseError
+
+
+class TestDateTime:
+    def test_parse_iso(self):
+        dt = DateTime.parse("2019-03-15T12:30:45Z")
+        assert dt.components() == (2019, 3, 15, 12, 30, 45, 0)
+
+    def test_parse_millis(self):
+        dt = DateTime.parse("2019-03-15T12:30:45.250Z")
+        assert dt.components()[-1] == 250
+
+    def test_roundtrip_isoformat(self):
+        text = "2021-12-31T23:59:59Z"
+        assert DateTime.parse(text).isoformat() == text
+
+    def test_epoch(self):
+        assert DateTime.parse("1970-01-01T00:00:00Z").epoch_millis == 0
+
+    def test_ordering(self):
+        early = DateTime.parse("2019-01-01T00:00:00Z")
+        late = DateTime.parse("2019-06-01T00:00:00Z")
+        assert early < late
+        assert late > early
+        assert early == DateTime.parse("2019-01-01T00:00:00Z")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["not a date", "2019-13-01T00:00:00Z", "2019-02-30T00:00:00Z",
+         "2019-01-01T25:00:00Z", ""],
+    )
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(AdmParseError):
+            DateTime.parse(bad)
+
+    def test_leap_year_feb_29(self):
+        DateTime.parse("2020-02-29T00:00:00Z")
+        with pytest.raises(AdmParseError):
+            DateTime.parse("2019-02-29T00:00:00Z")
+
+    def test_add_months(self):
+        dt = DateTime.parse("2019-03-15T12:00:00Z")
+        assert dt.add(Duration.parse("P2M")).isoformat().startswith("2019-05-15")
+
+    def test_add_months_clamps_to_month_end(self):
+        dt = DateTime.parse("2019-01-31T00:00:00Z")
+        assert dt.add(Duration.parse("P1M")).isoformat().startswith("2019-02-28")
+
+    def test_add_time_component(self):
+        dt = DateTime.parse("2019-01-01T00:00:00Z")
+        assert dt.add(Duration.parse("PT90S")).isoformat() == "2019-01-01T00:01:30Z"
+
+    def test_year_rollover(self):
+        dt = DateTime.parse("2019-12-15T00:00:00Z")
+        assert dt.add(Duration.parse("P2M")).isoformat().startswith("2020-02-15")
+
+
+class TestDuration:
+    def test_parse_months(self):
+        assert Duration.parse("P2M") == Duration(2, 0)
+
+    def test_parse_years_and_days(self):
+        d = Duration.parse("P1Y2M3D")
+        assert d.months == 14
+        assert d.millis == 3 * 86_400_000
+
+    def test_parse_time_parts(self):
+        d = Duration.parse("PT1H30M15.5S")
+        assert d.months == 0
+        assert d.millis == 3_600_000 + 30 * 60_000 + 15_500
+
+    @pytest.mark.parametrize("bad", ["", "P", "2M", "P-1M"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(AdmParseError):
+            Duration.parse(bad)
+
+
+class TestGeometry:
+    def test_point_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_rectangle_normalizes_corners(self):
+        r = Rectangle(5, 5, 1, 1)
+        assert (r.x1, r.y1, r.x2, r.y2) == (1, 1, 5, 5)
+
+    def test_rectangle_contains_boundary(self):
+        r = Rectangle(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.001, 1))
+
+    def test_rectangle_intersects(self):
+        a = Rectangle(0, 0, 2, 2)
+        assert a.intersects(Rectangle(1, 1, 3, 3))
+        assert a.intersects(Rectangle(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rectangle(2.1, 2.1, 3, 3))
+
+    def test_circle_contains(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.contains_point(Point(1, 0))
+        assert not c.contains_point(Point(1.01, 0))
+
+    def test_circle_rectangle_intersection(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.intersects_rectangle(Rectangle(0.5, 0.5, 2, 2))
+        assert not c.intersects_rectangle(Rectangle(1, 1, 2, 2))
+
+    def test_circle_mbr(self):
+        mbr = Circle(Point(5, 5), 2).mbr
+        assert (mbr.x1, mbr.y1, mbr.x2, mbr.y2) == (3, 3, 7, 7)
+
+
+class TestSpatialIntersect:
+    def test_point_point(self):
+        assert spatial_intersect(Point(1, 1), Point(1, 1))
+        assert not spatial_intersect(Point(1, 1), Point(1, 2))
+
+    def test_all_pairs_symmetric(self):
+        values = [
+            Point(1, 1),
+            Rectangle(0, 0, 2, 2),
+            Circle(Point(1, 1), 1),
+        ]
+        for a in values:
+            for b in values:
+                assert spatial_intersect(a, b) == spatial_intersect(b, a)
+
+    def test_disjoint_circle_rectangle(self):
+        assert not spatial_intersect(Circle(Point(10, 10), 1), Rectangle(0, 0, 2, 2))
+
+    def test_non_spatial_raises(self):
+        with pytest.raises(AdmParseError):
+            spatial_intersect(Point(0, 0), "not spatial")
+
+
+class TestMissing:
+    def test_singleton(self):
+        from repro.adm.values import _Missing
+
+        assert _Missing() is MISSING
+
+    def test_falsy(self):
+        assert not MISSING
+
+    def test_repr(self):
+        assert repr(MISSING) == "MISSING"

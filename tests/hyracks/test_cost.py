@@ -1,0 +1,97 @@
+"""The cost model and work meter."""
+
+import pytest
+
+from repro.hyracks.cost import DEFAULT_COST_MODEL, CostModel, WorkMeter
+
+
+class TestCostModel:
+    def test_predeployed_startup_cheaper_everywhere(self):
+        cost = CostModel()
+        for nodes in (1, 6, 24):
+            assert cost.job_startup(nodes, True) < cost.job_startup(nodes, False)
+
+    def test_startup_grows_with_nodes(self):
+        cost = CostModel()
+        assert cost.job_startup(24, True) > cost.job_startup(6, True)
+        assert cost.job_startup(24, False) > cost.job_startup(6, False)
+
+    def test_compile_cost_is_the_predeploy_gap(self):
+        cost = CostModel()
+        gap = cost.job_startup(6, False) - cost.job_startup(6, True)
+        assert gap == pytest.approx(
+            cost.job_compile + cost.job_distribute_per_node * 6
+        )
+
+    def test_default_model_is_shared_instance(self):
+        assert DEFAULT_COST_MODEL.parse_per_record > 0
+
+
+class TestWorkMeter:
+    def test_charge_zero_when_empty(self):
+        assert WorkMeter().charge(CostModel()) == 0.0
+
+    def test_counters_priced(self):
+        cost = CostModel()
+        meter = WorkMeter()
+        meter.records_scanned = 100
+        meter.hash_probes = 10
+        expected = 100 * cost.scan_per_record + 10 * cost.hash_probe_per_record
+        assert meter.charge(cost) == pytest.approx(expected)
+
+    def test_reset_clears_counters_keeps_scale(self):
+        meter = WorkMeter(scale=50.0)
+        meter.records_scanned = 10
+        meter.reset()
+        assert meter.records_scanned == 0
+        assert meter.scale == 50.0
+
+    def test_scale_applies_to_reference_counters_only(self):
+        cost = CostModel()
+        scaled = WorkMeter(scale=100.0)
+        scaled.records_scanned = 10  # reference-cardinality-driven
+        scaled.hash_probes = 10  # per-record, unscaled
+        unscaled = WorkMeter()
+        unscaled.records_scanned = 10
+        unscaled.hash_probes = 10
+        delta = scaled.charge(cost) - unscaled.charge(cost)
+        assert delta == pytest.approx(99 * 10 * cost.scan_per_record)
+
+    def test_sort_cost_nlogn(self):
+        cost = CostModel()
+        small = WorkMeter()
+        small.sort_items = 100
+        big = WorkMeter()
+        big.sort_items = 200
+        # super-linear: doubling items more than doubles cost
+        assert big.charge(cost) > 2 * small.charge(cost)
+
+    def test_single_sort_item_charged(self):
+        meter = WorkMeter()
+        meter.sort_items = 1
+        assert meter.charge(CostModel()) > 0
+
+    def test_penalty_priced_by_lsm_constants(self):
+        cost = CostModel()
+        meter = WorkMeter()
+        meter.penalized_reads = 1000
+        expected = 1000 * cost.lsm_component_read * (cost.lsm_active_penalty - 1.0)
+        assert meter.charge(cost) == pytest.approx(expected)
+
+    def test_broadcast_and_java_ops_priced(self):
+        cost = CostModel()
+        meter = WorkMeter()
+        meter.broadcast_records = 10
+        meter.java_ops = 1000
+        expected = (
+            10 * cost.inlj_broadcast_per_record + 1000 * cost.java_op_cost
+        )
+        assert meter.charge(cost) == pytest.approx(expected)
+
+    def test_every_counter_is_priced(self):
+        """Incrementing any counter must increase the charge."""
+        cost = CostModel()
+        for name in WorkMeter._COUNTERS:
+            meter = WorkMeter()
+            setattr(meter, name, 10)
+            assert meter.charge(cost) > 0, name

@@ -1,0 +1,238 @@
+"""Join operators: hash join (incl. spill semantics), index NLJ, naive NLJ."""
+
+import pytest
+
+from repro.adm import Point, open_type
+from repro.errors import StreamingJoinError
+from repro.hyracks import (
+    JobSpecification,
+    LocalJobRunner,
+    OneToOne,
+    OperatorDescriptor,
+)
+from repro.hyracks.operators import (
+    CollectSink,
+    HashJoinOperator,
+    IndexNestedLoopJoinOperator,
+    ListSource,
+    NestedLoopJoinOperator,
+)
+from repro.storage import Dataset, IndexKind
+
+BUILD = [{"code": f"C{i}", "rating": i % 5} for i in range(50)]
+PROBE = [{"id": i, "code": f"C{i % 60}"} for i in range(200)]
+
+
+def combine(record, matches):
+    out = dict(record)
+    out["ratings"] = [m["rating"] for m in matches]
+    return out
+
+
+def run_join(make_join, probe=PROBE, nodes=1):
+    spec = JobSpecification("j")
+    out = []
+    src = spec.add_operator(
+        OperatorDescriptor("src", lambda ctx: ListSource(ctx, probe), nodes)
+    )
+    join = spec.add_operator(OperatorDescriptor("join", make_join, nodes))
+    sink = spec.add_operator(
+        OperatorDescriptor("sink", lambda ctx: CollectSink(ctx, out), 1)
+    )
+    spec.connect(src, join, OneToOne())
+    spec.connect(join, sink, OneToOne())
+    LocalJobRunner(nodes).execute(spec)
+    return out
+
+
+def expected_join(probe=PROBE, build=BUILD):
+    table = {}
+    for b in build:
+        table.setdefault(b["code"], []).append(b)
+    return {
+        r["id"]: sorted(m["rating"] for m in table.get(r["code"], []))
+        for r in probe
+    }
+
+
+class TestHashJoin:
+    def test_in_memory_join_matches_reference(self):
+        out = run_join(
+            lambda ctx: HashJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda b: b["code"],
+                lambda r: r["code"],
+                combine,
+            )
+        )
+        got = {r["id"]: sorted(r["ratings"]) for r in out}
+        assert got == expected_join()
+
+    def test_unmatched_probe_kept_by_default(self):
+        out = run_join(
+            lambda ctx: HashJoinOperator(
+                ctx, lambda p: BUILD, lambda b: b["code"], lambda r: r["code"], combine
+            )
+        )
+        unmatched = [r for r in out if r["code"] == "C55"]
+        assert unmatched and all(r["ratings"] == [] for r in unmatched)
+
+    def test_inner_join_drops_unmatched(self):
+        out = run_join(
+            lambda ctx: HashJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda b: b["code"],
+                lambda r: r["code"],
+                combine,
+                keep_unmatched_probe=False,
+            )
+        )
+        assert all(r["ratings"] for r in out)
+
+    def test_spill_produces_identical_results(self):
+        spilled = run_join(
+            lambda ctx: HashJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda b: b["code"],
+                lambda r: r["code"],
+                combine,
+                memory_budget_records=10,
+            )
+        )
+        got = {r["id"]: sorted(r["ratings"]) for r in spilled}
+        assert got == expected_join()
+
+    def test_spill_flag_set(self):
+        captured = []
+
+        def make(ctx):
+            join = HashJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda b: b["code"],
+                lambda r: r["code"],
+                combine,
+                memory_budget_records=10,
+            )
+            captured.append(join)
+            return join
+
+        run_join(make)
+        assert captured[0].spilled
+
+    def test_unbounded_probe_with_spill_raises(self):
+        """Paper §4.3.4 case 2: spilling + infinite feed is impossible."""
+        with pytest.raises(StreamingJoinError):
+            run_join(
+                lambda ctx: HashJoinOperator(
+                    ctx,
+                    lambda p: BUILD,
+                    lambda b: b["code"],
+                    lambda r: r["code"],
+                    combine,
+                    memory_budget_records=10,
+                    unbounded_probe=True,
+                )
+            )
+
+    def test_unbounded_probe_fits_memory_ok(self):
+        """Paper §4.3.4 case 1: small build side streams fine."""
+        out = run_join(
+            lambda ctx: HashJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda b: b["code"],
+                lambda r: r["code"],
+                combine,
+                memory_budget_records=10_000,
+                unbounded_probe=True,
+            )
+        )
+        assert len(out) == len(PROBE)
+
+
+class TestIndexNestedLoopJoin:
+    @pytest.fixture
+    def monuments(self):
+        ds = Dataset(
+            "M", open_type("MT", monument_id="string"), "monument_id",
+            num_partitions=2, validate=False,
+        )
+        for i in range(20):
+            ds.insert(
+                {"monument_id": f"m{i}", "monument_location": Point(float(i), 0.0)}
+            )
+        ds.flush_all()
+        ds.create_index("loc", "monument_location", IndexKind.RTREE)
+        return ds
+
+    def test_probes_live_index(self, monuments):
+        def probe(ds, record):
+            from repro.adm import Circle
+
+            return ds.index_probe_spatial(
+                "loc", Circle(Point(record["x"], 0.0), 1.5)
+            )
+
+        def combine_ids(record, matches):
+            out = dict(record)
+            out["near"] = sorted(m["monument_id"] for m in matches)
+            return out
+
+        probe_records = [{"id": 1, "x": 5.0}]
+        out = run_join(
+            lambda ctx: IndexNestedLoopJoinOperator(ctx, monuments, probe, combine_ids),
+            probe=probe_records,
+        )
+        assert out[0]["near"] == ["m4", "m5", "m6"]
+
+    def test_update_activity_charges_penalty(self, monuments):
+        def probe(ds, record):
+            return ds.index_probe_spatial("loc", Point(record["x"], 0.0))
+
+        def run_once():
+            spec = JobSpecification("p")
+            src = spec.add_operator(
+                OperatorDescriptor(
+                    "src", lambda ctx: ListSource(ctx, [{"id": 1, "x": 5.0}] * 50), 1
+                )
+            )
+            join = spec.add_operator(
+                OperatorDescriptor(
+                    "join",
+                    lambda ctx: IndexNestedLoopJoinOperator(
+                        ctx, monuments, probe, lambda r, m: r
+                    ),
+                    1,
+                )
+            )
+            sink = spec.add_operator(
+                OperatorDescriptor("s", lambda ctx: CollectSink(ctx, []), 1)
+            )
+            spec.connect(src, join, OneToOne())
+            spec.connect(join, sink, OneToOne())
+            return LocalJobRunner(1).execute(spec).per_operator_busy["join"]
+
+        quiet = run_once()
+        monuments.upsert(
+            {"monument_id": "m0", "monument_location": Point(0.0, 0.0)}
+        )
+        active = run_once()
+        assert active > quiet
+
+
+class TestNestedLoopJoin:
+    def test_matches_reference(self):
+        out = run_join(
+            lambda ctx: NestedLoopJoinOperator(
+                ctx,
+                lambda p: BUILD,
+                lambda probe, build: probe["code"] == build["code"],
+                combine,
+            )
+        )
+        got = {r["id"]: sorted(r["ratings"]) for r in out}
+        assert got == expected_join()

@@ -1,0 +1,62 @@
+"""Feed adapters."""
+
+import json
+
+import pytest
+
+from repro.errors import FeedStateError
+from repro.ingestion import FileAdapter, GeneratorAdapter, QueueAdapter, chunked
+
+
+class TestGeneratorAdapter:
+    def test_wraps_raw_records(self):
+        adapter = GeneratorAdapter(['{"id": 1}', '{"id": 2}'])
+        got = list(adapter.envelopes())
+        assert got == [{"raw": '{"id": 1}'}, {"raw": '{"id": 2}'}]
+        assert adapter.received == 2
+
+
+class TestQueueAdapter:
+    def test_send_then_drain(self):
+        adapter = QueueAdapter()
+        adapter.send_many(["a", "b"])
+        adapter.end()
+        assert [e["raw"] for e in adapter.envelopes()] == ["a", "b"]
+
+    def test_send_after_end_rejected(self):
+        adapter = QueueAdapter()
+        adapter.end()
+        with pytest.raises(FeedStateError):
+            adapter.send("x")
+
+    def test_draining_unended_queue_raises(self):
+        adapter = QueueAdapter()
+        adapter.send("a")
+        stream = adapter.envelopes()
+        assert next(stream)["raw"] == "a"
+        with pytest.raises(FeedStateError, match="drained before end"):
+            next(stream)
+
+    def test_pending_counts(self):
+        adapter = QueueAdapter()
+        adapter.send_many(["a", "b", "c"])
+        assert adapter.pending == 3
+
+
+class TestFileAdapter:
+    def test_replays_ndjson(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text('{"id": 1}\n\n{"id": 2}\n')
+        adapter = FileAdapter(str(path))
+        got = [json.loads(e["raw"])["id"] for e in adapter.envelopes()]
+        assert got == [1, 2]
+        assert adapter.received == 2
+
+
+class TestChunked:
+    def test_chunks(self):
+        assert list(chunked(iter(range(7)), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked(iter([]), 0))

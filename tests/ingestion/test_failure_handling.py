@@ -1,0 +1,110 @@
+"""Failure paths: a failing UDF or adapter must not leak feed state."""
+
+import json
+
+import pytest
+
+from repro.adm import open_type
+from repro.cluster import Cluster
+from repro.errors import PartitionHolderError, SqlppEvaluationError
+from repro.ingestion import (
+    ActiveFeedManager,
+    AttachedFunction,
+    DynamicIngestionPipeline,
+    FeedDefinition,
+    GeneratorAdapter,
+)
+from repro.storage import Dataset
+from repro.udf import FunctionRegistry
+
+
+def make_env():
+    target = Dataset("T", open_type("TT", id="int64"), "id",
+                     num_partitions=2, validate=False)
+    catalog = {"T": target}
+    registry = FunctionRegistry(lambda: set(catalog))
+    registry.register_sqlpp(
+        """
+        CREATE FUNCTION explodeOnSeven(t) {
+            LET x = 1 / (t.id - 7)
+            SELECT t.*, x
+        }
+        """
+    )
+    return catalog, registry
+
+
+class TestFailureCleanup:
+    def test_udf_error_propagates(self):
+        catalog, registry = make_env()
+        cluster = Cluster(2)
+        pipeline = DynamicIngestionPipeline(cluster, catalog, registry)
+        feed = FeedDefinition(
+            "F", "T", batch_size=4,
+            functions=[AttachedFunction("explodeOnSeven")],
+        )
+        raws = [json.dumps({"id": i}) for i in range(10)]
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run(feed, GeneratorAdapter(raws))
+
+    def test_feed_state_released_after_failure(self):
+        catalog, registry = make_env()
+        cluster = Cluster(2)
+        afm = ActiveFeedManager(cluster)
+        pipeline = DynamicIngestionPipeline(cluster, catalog, registry, afm=afm)
+        feed = FeedDefinition(
+            "F", "T", batch_size=4,
+            functions=[AttachedFunction("explodeOnSeven")],
+        )
+        raws = [json.dumps({"id": i}) for i in range(10)]
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run(feed, GeneratorAdapter(raws))
+        # AFM entry gone, predeployed job undeployed, holders unregistered
+        assert afm.active_feeds == {}
+        assert cluster.controller.deployed_job_ids() == []
+        with pytest.raises(PartitionHolderError):
+            cluster.holder_manager.lookup("intake-F", 0)
+
+    def test_feed_restartable_after_failure(self):
+        catalog, registry = make_env()
+        cluster = Cluster(2)
+        afm = ActiveFeedManager(cluster)
+        pipeline = DynamicIngestionPipeline(cluster, catalog, registry, afm=afm)
+        feed = FeedDefinition(
+            "F", "T", batch_size=4,
+            functions=[AttachedFunction("explodeOnSeven")],
+        )
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run(
+                feed, GeneratorAdapter([json.dumps({"id": 7})])
+            )
+        # same feed name can start again (no duplicate-registration error)
+        ok_raws = [json.dumps({"id": i}) for i in range(3)]
+        report = pipeline.run(feed, GeneratorAdapter(ok_raws))
+        assert report.records_stored == 3
+
+    def test_records_before_failure_are_durable(self):
+        """Batches committed before the failing batch stay stored."""
+        catalog, registry = make_env()
+        cluster = Cluster(2)
+        pipeline = DynamicIngestionPipeline(cluster, catalog, registry)
+        feed = FeedDefinition(
+            "F", "T", batch_size=2,
+            functions=[AttachedFunction("explodeOnSeven")],
+        )
+        raws = [json.dumps({"id": i}) for i in range(10)]  # fails in batch 4
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run(feed, GeneratorAdapter(raws))
+        stored = sorted(r["id"] for r in catalog["T"].scan())
+        assert stored == [0, 1, 2, 3, 4, 5]  # three committed batches
+
+    def test_malformed_json_fails_batch(self):
+        catalog, _registry = make_env()
+        cluster = Cluster(2)
+        pipeline = DynamicIngestionPipeline(cluster, catalog)
+        feed = FeedDefinition("F", "T", batch_size=4)
+        from repro.errors import AdmParseError
+
+        raws = [json.dumps({"id": 1}), "{not json"]
+        with pytest.raises(AdmParseError):
+            pipeline.run(feed, GeneratorAdapter(raws))

@@ -1,0 +1,55 @@
+"""FeedRunReport metric arithmetic."""
+
+import pytest
+
+from repro.ingestion.feed import BatchStats, FeedRunReport
+
+
+def make_report(**overrides):
+    values = dict(
+        feed_name="F",
+        framework="dynamic",
+        records_ingested=1000,
+        records_stored=1000,
+        simulated_seconds=10.0,
+        intake_seconds=2.0,
+        computing_seconds=8.0,
+        storage_seconds=1.0,
+    )
+    values.update(overrides)
+    return FeedRunReport(**values)
+
+
+class TestThroughput:
+    def test_steady_state_excludes_fixed_start(self):
+        report = make_report(simulated_seconds=12.0, fixed_start_seconds=2.0)
+        assert report.throughput == pytest.approx(100.0)
+
+    def test_zero_duration_guarded(self):
+        report = make_report(simulated_seconds=0.0)
+        assert report.throughput == 0.0
+
+    def test_fixed_start_exceeding_duration_guarded(self):
+        report = make_report(simulated_seconds=1.0, fixed_start_seconds=5.0)
+        assert report.throughput == 0.0
+
+
+class TestRefreshMetrics:
+    def test_refresh_period_is_mean_makespan(self):
+        report = make_report()
+        report.batch_stats = [
+            BatchStats(0, 100, 0.5, 0.01, 0.1),
+            BatchStats(1, 100, 1.5, 0.01, 0.1),
+        ]
+        assert report.refresh_period == pytest.approx(1.0)
+
+    def test_refresh_period_empty(self):
+        assert make_report().refresh_period == 0.0
+
+    def test_refresh_rate(self):
+        report = make_report(num_computing_jobs=5, simulated_seconds=10.0)
+        assert report.refresh_rate == pytest.approx(0.5)
+
+    def test_refresh_rate_zero_duration(self):
+        report = make_report(simulated_seconds=0.0, num_computing_jobs=5)
+        assert report.refresh_rate == 0.0

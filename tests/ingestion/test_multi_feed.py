@@ -1,0 +1,115 @@
+"""Multiple feeds and chained UDFs (paper §6.1: feeds run independently)."""
+
+import json
+
+import pytest
+
+from repro import AsterixLite
+from repro.errors import IngestionError
+from repro.ingestion import ActiveFeedManager, GeneratorAdapter
+
+
+class TestMultipleFeeds:
+    def test_two_feeds_share_one_system(self):
+        system = AsterixLite(num_nodes=3)
+        system.execute(
+            """
+            CREATE TYPE T AS OPEN { id: int64 };
+            CREATE DATASET A(T) PRIMARY KEY id;
+            CREATE DATASET B(T) PRIMARY KEY id;
+            CREATE FEED FA WITH { "type-name": "T" };
+            CREATE FEED FB WITH { "type-name": "T" };
+            CONNECT FEED FA TO DATASET A;
+            CONNECT FEED FB TO DATASET B;
+            """
+        )
+        ra = system.start_feed(
+            "FA", adapter=GeneratorAdapter(json.dumps({"id": i}) for i in range(30))
+        )
+        rb = system.start_feed(
+            "FB",
+            adapter=GeneratorAdapter(json.dumps({"id": i}) for i in range(40)),
+        )
+        assert ra.records_stored == 30 and rb.records_stored == 40
+        assert len(system.catalog["A"]) == 30
+        assert len(system.catalog["B"]) == 40
+
+    def test_afm_tracks_concurrent_registrations(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(2)
+        afm = ActiveFeedManager(cluster)
+        a = cluster.controller.deploy("a", lambda params: None)
+        b = cluster.controller.deploy("b", lambda params: None)
+        afm.register_feed("feedA", a)
+        afm.register_feed("feedB", b)
+        assert set(afm.active_feeds) == {"feedA", "feedB"}
+        afm.deregister_feed("feedA")
+        assert set(afm.active_feeds) == {"feedB"}
+
+    def test_duplicate_active_feed_rejected(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(1)
+        afm = ActiveFeedManager(cluster)
+        afm.register_feed("F", "job#0")
+        with pytest.raises(IngestionError, match="already active"):
+            afm.register_feed("F", "job#1")
+
+    def test_invoking_inactive_feed_rejected(self):
+        from repro.cluster import Cluster
+
+        afm = ActiveFeedManager(Cluster(1))
+        with pytest.raises(IngestionError, match="not active"):
+            afm.invoke_computing_job("ghost", [])
+
+
+class TestChainedUdfs:
+    def test_apply_function_chain(self):
+        system = AsterixLite(num_nodes=2)
+        system.execute(
+            """
+            CREATE TYPE T AS OPEN { id: int64 };
+            CREATE DATASET Out(T) PRIMARY KEY id;
+            CREATE FUNCTION addOne(t) {
+                LET a = 1
+                SELECT t.*, a
+            };
+            CREATE FUNCTION addTwo(t) {
+                LET b = 2
+                SELECT t.*, b
+            };
+            CREATE FEED F WITH { "type-name": "T" };
+            CONNECT FEED F TO DATASET Out
+                APPLY FUNCTION addOne, addTwo;
+            """
+        )
+        system.start_feed(
+            "F", adapter=GeneratorAdapter([json.dumps({"id": 1})])
+        )
+        record = system.catalog["Out"].get(1)
+        assert record["a"] == 1 and record["b"] == 2
+
+    def test_chain_order_matters(self):
+        system = AsterixLite(num_nodes=2)
+        system.execute(
+            """
+            CREATE TYPE T AS OPEN { id: int64 };
+            CREATE DATASET Out(T) PRIMARY KEY id;
+            CREATE FUNCTION double_v(t) {
+                LET v = t.v * 2
+                SELECT t.id, v
+            };
+            CREATE FUNCTION inc_v(t) {
+                LET v = t.v + 1
+                SELECT t.id, v
+            };
+            CREATE FEED F WITH { "type-name": "T" };
+            CONNECT FEED F TO DATASET Out APPLY FUNCTION double_v, inc_v;
+            """
+        )
+        system.start_feed(
+            "F", adapter=GeneratorAdapter([json.dumps({"id": 1, "v": 5})])
+        )
+        # (5 * 2) + 1, not (5 + 1) * 2
+        assert system.catalog["Out"].get(1)["v"] == 11

@@ -1,0 +1,245 @@
+"""End-to-end scenarios through the public facade (the paper's user model)."""
+
+import json
+
+import pytest
+
+from repro import AsterixLite
+from repro.errors import FeedStateError, SqlppAnalysisError
+from repro.ingestion import GeneratorAdapter, QueueAdapter
+
+
+@pytest.fixture
+def system():
+    s = AsterixLite(num_nodes=3)
+    s.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        CREATE TYPE SensitiveWordsType AS OPEN { wid: int64 };
+        CREATE DATASET SensitiveWords(SensitiveWordsType) PRIMARY KEY wid;
+        """
+    )
+    return s
+
+
+class TestDdlAndDml:
+    def test_figure_1_and_3(self, system):
+        """The paper's Figure 1 DDL + Figure 3 insert."""
+        system.execute(
+            'INSERT INTO Tweets ([{"id": 0, "text": "Let there be light"}])'
+        )
+        assert system.query("SELECT VALUE t.text FROM Tweets t") == [
+            "Let there be light"
+        ]
+
+    def test_duplicate_type_rejected(self, system):
+        with pytest.raises(SqlppAnalysisError):
+            system.execute("CREATE TYPE TweetType AS OPEN { id: int64 }")
+
+    def test_duplicate_dataset_rejected(self, system):
+        with pytest.raises(SqlppAnalysisError):
+            system.execute("CREATE DATASET Tweets(TweetType) PRIMARY KEY id")
+
+    def test_unknown_type_rejected(self, system):
+        with pytest.raises(SqlppAnalysisError, match="unknown type"):
+            system.execute("CREATE DATASET X(NopeType) PRIMARY KEY id")
+
+    def test_insert_and_group_query(self, system):
+        system.insert(
+            "Tweets",
+            [{"id": i, "text": "x", "country": f"C{i % 3}"} for i in range(30)],
+        )
+        got = system.query(
+            "SELECT t.country AS country, count(*) AS num "
+            "FROM Tweets t GROUP BY t.country"
+        )
+        assert sorted((g["country"], g["num"]) for g in got) == [
+            ("C0", 10),
+            ("C1", 10),
+            ("C2", 10),
+        ]
+
+    def test_insert_into_select(self, system):
+        system.insert("Tweets", [{"id": i, "text": "t"} for i in range(10)])
+        system.execute(
+            "INSERT INTO EnrichedTweets (SELECT VALUE t FROM Tweets t WHERE t.id < 4)"
+        )
+        assert len(system.catalog["EnrichedTweets"]) == 4
+
+    def test_create_index_via_ddl(self, system):
+        system.insert("Tweets", [{"id": 1, "text": "x", "score": 5}])
+        system.execute("CREATE INDEX byScore ON Tweets(score)")
+        assert system.catalog["Tweets"].index_on("score") == "byScore"
+
+
+class TestUdfsAndOption1:
+    """Option 1 (§4.1): enrichment during querying."""
+
+    def test_figure_9_analytical_query(self, system):
+        system.execute(
+            """
+            CREATE FUNCTION tweetSafetyCheck(tweet) {
+                LET safety_check_flag = CASE
+                    EXISTS(SELECT s FROM SensitiveWords s
+                           WHERE tweet.country = s.country AND
+                                 contains(tweet.text, s.word))
+                    WHEN true THEN "Red" ELSE "Green"
+                    END
+                SELECT tweet.*, safety_check_flag
+            }
+            """
+        )
+        system.insert(
+            "SensitiveWords", [{"wid": 1, "country": "US", "word": "bomb"}]
+        )
+        system.insert(
+            "Tweets",
+            [
+                {"id": 1, "text": "a bomb", "country": "US"},
+                {"id": 2, "text": "peace", "country": "US"},
+                {"id": 3, "text": "a bomb", "country": "CA"},
+            ],
+        )
+        got = system.query(
+            """
+            SELECT tweet.country Country, count(tweet) Num
+            FROM Tweets tweet
+            LET enrichedTweet = tweetSafetyCheck(tweet)[0]
+            WHERE enrichedTweet.safety_check_flag = "Red"
+            GROUP BY tweet.country
+            """
+        )
+        assert got == [{"Country": "US", "Num": 1}]
+
+
+class TestFeedLifecycle:
+    def test_figure_4_feed_ddl_and_run(self, system):
+        system.execute(
+            """
+            CREATE FEED TweetFeed WITH {
+                "type-name": "TweetType",
+                "adapter-name": "socket_adapter",
+                "format": "JSON"
+            };
+            CONNECT FEED TweetFeed TO DATASET Tweets;
+            """
+        )
+        raws = [json.dumps({"id": i, "text": f"t{i}"}) for i in range(40)]
+        report = system.start_feed(
+            "TweetFeed", adapter=GeneratorAdapter(raws), batch_size=10
+        )
+        assert report.records_stored == 40
+        assert len(system.catalog["Tweets"]) == 40
+
+    def test_feed_with_udf_enriches(self, system):
+        system.execute(
+            """
+            CREATE FUNCTION usCheck(tweet) {
+                LET safety_check_flag =
+                    CASE tweet.country = "US" AND contains(tweet.text, "bomb")
+                    WHEN true THEN "Red" ELSE "Green"
+                    END
+                SELECT tweet.*, safety_check_flag
+            };
+            CREATE FEED F2 WITH { "type-name": "TweetType" };
+            CONNECT FEED F2 TO DATASET EnrichedTweets APPLY FUNCTION usCheck;
+            """
+        )
+        raws = [
+            json.dumps({"id": 1, "text": "a bomb", "country": "US"}),
+            json.dumps({"id": 2, "text": "calm", "country": "US"}),
+        ]
+        system.start_feed("F2", adapter=GeneratorAdapter(raws))
+        flags = {
+            r["id"]: r["safety_check_flag"]
+            for r in system.catalog["EnrichedTweets"].scan()
+        }
+        assert flags == {1: "Red", 2: "Green"}
+
+    def test_static_framework_through_facade(self, system):
+        system.execute(
+            'CREATE FEED F3 WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F3 TO DATASET Tweets;"
+        )
+        raws = [json.dumps({"id": i, "text": "x"}) for i in range(25)]
+        report = system.start_feed(
+            "F3", adapter=GeneratorAdapter(raws), framework="static"
+        )
+        assert report.framework == "static"
+        assert len(system.catalog["Tweets"]) == 25
+
+    def test_queue_adapter_stop_feed(self, system):
+        system.execute(
+            'CREATE FEED F4 WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F4 TO DATASET Tweets;"
+        )
+        adapter = QueueAdapter()
+        adapter.send_many(json.dumps({"id": i, "text": "x"}) for i in range(5))
+        system.set_feed_adapter("F4", adapter)
+        system.execute("STOP FEED F4")  # marks EOF
+        report = system.start_feed("F4", batch_size=2)
+        assert report.records_stored == 5
+
+    def test_unconnected_feed_rejected(self, system):
+        system.create_feed("Lonely")
+        with pytest.raises(FeedStateError, match="not connected"):
+            system.start_feed("Lonely", adapter=GeneratorAdapter([]))
+
+    def test_feed_without_adapter_rejected(self, system):
+        system.create_feed("NoAdapter")
+        system.connect_feed("NoAdapter", "Tweets")
+        with pytest.raises(FeedStateError, match="no adapter"):
+            system.start_feed("NoAdapter")
+
+    def test_feed_report_persisted(self, system):
+        system.execute(
+            'CREATE FEED F5 WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F5 TO DATASET Tweets;"
+        )
+        system.start_feed(
+            "F5",
+            adapter=GeneratorAdapter([json.dumps({"id": 1, "text": "x"})]),
+        )
+        assert system.feed_report("F5").records_stored == 1
+
+
+class TestOption2EagerEnrichment:
+    """Option 2 (§4.2): enrich during ingestion, query the stored results."""
+
+    def test_enrich_then_analyze(self, system):
+        system.insert(
+            "SensitiveWords", [{"wid": 1, "country": "US", "word": "bomb"}]
+        )
+        system.execute(
+            """
+            CREATE FUNCTION safetyCheck(tweet) {
+                LET safety_check_flag = CASE
+                    EXISTS(SELECT s FROM SensitiveWords s
+                           WHERE tweet.country = s.country AND
+                                 contains(tweet.text, s.word))
+                    WHEN true THEN "Red" ELSE "Green"
+                    END
+                SELECT tweet.*, safety_check_flag
+            };
+            CREATE FEED EnrichFeed WITH { "type-name": "TweetType" };
+            CONNECT FEED EnrichFeed TO DATASET EnrichedTweets
+                APPLY FUNCTION safetyCheck;
+            """
+        )
+        raws = [
+            json.dumps(
+                {"id": i, "text": "bomb" if i % 2 else "ok", "country": "US"}
+            )
+            for i in range(20)
+        ]
+        system.start_feed("EnrichFeed", adapter=GeneratorAdapter(raws), batch_size=5)
+        got = system.query(
+            "SELECT t.safety_check_flag AS flag, count(*) AS n "
+            "FROM EnrichedTweets t GROUP BY t.safety_check_flag"
+        )
+        assert sorted((g["flag"], g["n"]) for g in got) == [
+            ("Green", 10),
+            ("Red", 10),
+        ]

@@ -1,0 +1,39 @@
+"""The shipped examples must keep running (fast ones, in-process)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Let there be light" in out
+        assert "feed ingested 500 records" in out
+
+    def test_tweet_safety_check_runs(self, capsys):
+        load_example("tweet_safety_check").main()
+        out = capsys.readouterr().out
+        assert "first Red tweet" in out
+        assert "rejected, as in AsterixDB today" in out
+
+    def test_all_examples_importable(self):
+        """Every example at least parses and imports cleanly."""
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(path.stem + "_probe", path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            assert hasattr(module, "main"), path.name

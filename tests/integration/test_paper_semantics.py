@@ -1,0 +1,205 @@
+"""Differential tests of the paper's two enrichment options.
+
+Option 1 (enrich during querying, §4.1) and Option 2 (enrich during
+ingestion, §4.2) must produce the same enrichment when reference data is
+static — the framework only changes *when* the UDF runs, never what it
+computes.  With reference updates mid-stream the options legitimately
+diverge (Option 1 sees the final state, Option 2 the per-batch states);
+both divergences are asserted here.
+"""
+
+import json
+
+import pytest
+
+from repro import AsterixLite
+from repro.ingestion import GeneratorAdapter
+
+
+@pytest.fixture
+def system():
+    s = AsterixLite(num_nodes=3)
+    s.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE TYPE WordType AS OPEN { wid: int64 };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        CREATE DATASET SensitiveWords(WordType) PRIMARY KEY wid;
+        """
+    )
+    s.insert(
+        "SensitiveWords",
+        [
+            {"wid": 1, "country": "US", "word": "bomb"},
+            {"wid": 2, "country": "FR", "word": "bombe"},
+        ],
+    )
+    s.execute(
+        """
+        CREATE FUNCTION tweetSafetyCheck(tweet) {
+            LET safety_check_flag = CASE
+                EXISTS(SELECT s FROM SensitiveWords s
+                       WHERE tweet.country = s.country AND
+                             contains(tweet.text, s.word))
+                WHEN true THEN "Red" ELSE "Green"
+                END
+            SELECT tweet.*, safety_check_flag
+        }
+        """
+    )
+    return s
+
+
+TWEETS = [
+    {"id": 0, "text": "a bomb scare", "country": "US"},
+    {"id": 1, "text": "la bombe", "country": "FR"},
+    {"id": 2, "text": "peaceful day", "country": "US"},
+    {"id": 3, "text": "a bomb scare", "country": "DE"},
+    {"id": 4, "text": "nothing here", "country": "FR"},
+]
+
+
+class TestOptionEquivalence:
+    def test_lazy_equals_eager_with_static_reference_data(self, system):
+        # Option 1: store raw, enrich at query time
+        system.insert("Tweets", TWEETS)
+        lazy = system.query(
+            """
+            SELECT VALUE tweetSafetyCheck(t)[0]
+            FROM Tweets t
+            """
+        )
+        lazy_flags = {r["id"]: r["safety_check_flag"] for r in lazy}
+
+        # Option 2: enrich during ingestion
+        system.execute(
+            'CREATE FEED F WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F TO DATASET EnrichedTweets "
+            "APPLY FUNCTION tweetSafetyCheck;"
+        )
+        system.start_feed(
+            "F",
+            adapter=GeneratorAdapter(json.dumps(t) for t in TWEETS),
+            batch_size=2,
+        )
+        eager_flags = {
+            r["id"]: r["safety_check_flag"]
+            for r in system.catalog["EnrichedTweets"].scan()
+        }
+        assert lazy_flags == eager_flags == {
+            0: "Red", 1: "Red", 2: "Green", 3: "Green", 4: "Green",
+        }
+
+    def test_lazy_sees_final_state_eager_sees_batch_states(self, system):
+        system.insert("Tweets", TWEETS)
+
+        class Injector(GeneratorAdapter):
+            def __init__(self, raws, words):
+                super().__init__(raws)
+                self.words = words
+                self.count = 0
+
+            def envelopes(self):
+                for envelope in super().envelopes():
+                    self.count += 1
+                    if self.count == 3:
+                        # "peaceful" becomes sensitive mid-feed
+                        self.words.upsert(
+                            {"wid": 3, "country": "US", "word": "peaceful"}
+                        )
+                    yield envelope
+
+        system.execute(
+            'CREATE FEED F WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F TO DATASET EnrichedTweets "
+            "APPLY FUNCTION tweetSafetyCheck;"
+        )
+        system.start_feed(
+            "F",
+            adapter=Injector(
+                (json.dumps(t) for t in TWEETS),
+                system.catalog["SensitiveWords"],
+            ),
+            batch_size=2,
+        )
+        eager = {
+            r["id"]: r["safety_check_flag"]
+            for r in system.catalog["EnrichedTweets"].scan()
+        }
+        # tweet 2 ("peaceful day") was in batch 2, enriched AFTER the word
+        # was added mid-collection of that batch
+        assert eager[2] == "Red"
+
+        # Option 1 evaluated now sees the final reference state: also Red
+        lazy = system.query(
+            "SELECT VALUE tweetSafetyCheck(t)[0] FROM Tweets t WHERE t.id = 2"
+        )
+        assert lazy[0]["safety_check_flag"] == "Red"
+
+    def test_eager_enrichment_supports_repeated_analytics(self, system):
+        """§4.2: once stored, analytical queries skip the UDF entirely."""
+        system.execute(
+            'CREATE FEED F WITH { "type-name": "TweetType" };'
+            "CONNECT FEED F TO DATASET EnrichedTweets "
+            "APPLY FUNCTION tweetSafetyCheck;"
+        )
+        system.start_feed(
+            "F", adapter=GeneratorAdapter(json.dumps(t) for t in TWEETS)
+        )
+        got = system.query(
+            """
+            SELECT e.country AS Country, count(e) Num
+            FROM EnrichedTweets e
+            WHERE e.safety_check_flag = "Red"
+            GROUP BY e.country
+            ORDER BY Country
+            """
+        )
+        assert got == [
+            {"Country": "FR", "Num": 1},
+            {"Country": "US", "Num": 1},
+        ]
+
+
+class TestFigure10And11Approaches:
+    """§4.2.1/§4.2.2: the external-program approaches, via INSERT."""
+
+    def test_figure_10_batch_insert_with_udf(self, system):
+        batch = json.dumps(TWEETS)
+        system.execute(
+            f"""
+            INSERT INTO EnrichedTweets(
+                LET TweetsBatch = ({batch})
+                SELECT VALUE tweetSafetyCheck(tweet)[0]
+                FROM TweetsBatch tweet
+            )
+            """
+        )
+        assert len(system.catalog["EnrichedTweets"]) == len(TWEETS)
+
+    def test_figure_11_enrich_ingested_not_yet_enriched(self, system):
+        system.insert("Tweets", TWEETS)
+        system.execute(
+            """
+            INSERT INTO EnrichedTweets(
+                SELECT VALUE tweetSafetyCheck(tweet)[0]
+                FROM Tweets tweet WHERE tweet.id NOT IN
+                    (SELECT VALUE enrichedTweet.id
+                     FROM EnrichedTweets enrichedTweet)
+            )
+            """
+        )
+        assert len(system.catalog["EnrichedTweets"]) == len(TWEETS)
+        # running it again is a no-op: everything is already enriched
+        system.execute(
+            """
+            INSERT INTO EnrichedTweets(
+                SELECT VALUE tweetSafetyCheck(tweet)[0]
+                FROM Tweets tweet WHERE tweet.id NOT IN
+                    (SELECT VALUE enrichedTweet.id
+                     FROM EnrichedTweets enrichedTweet)
+            )
+            """
+        )
+        assert len(system.catalog["EnrichedTweets"]) == len(TWEETS)

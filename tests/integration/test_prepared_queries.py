@@ -1,0 +1,81 @@
+"""Parameterized predeployed queries (the paper's Figure 20)."""
+
+import pytest
+
+from repro import AsterixLite
+from repro.errors import SqlppAnalysisError
+
+
+@pytest.fixture
+def system():
+    s = AsterixLite(num_nodes=3)
+    s.execute(
+        "CREATE TYPE T AS OPEN { id: int64 };"
+        "CREATE DATASET Tweets(T) PRIMARY KEY id;"
+    )
+    s.insert("Tweets", [{"id": i, "score": i % 7} for i in range(100)])
+    return s
+
+
+class TestFigure20:
+    def test_figure_20_query(self, system):
+        prepared = system.prepare("SELECT VALUE t FROM Tweets t WHERE t.id = $x")
+        assert prepared.execute(x=97) == [{"id": 97, "score": 97 % 7}]
+        assert prepared.execute(x=3) == [{"id": 3, "score": 3}]
+
+    def test_spec_cached_on_all_nodes(self, system):
+        prepared = system.prepare("SELECT VALUE t.id FROM Tweets t WHERE t.id = $x")
+        assert all(
+            node.has_job(prepared.job_id) for node in system.cluster.nodes
+        )
+
+    def test_invocations_tracked_per_node(self, system):
+        prepared = system.prepare("SELECT VALUE t.id FROM Tweets t WHERE t.id = $x")
+        prepared.execute(x=1)
+        prepared.execute(x=2)
+        assert prepared.invocations == 2
+        assert all(
+            node.invocations[prepared.job_id] == 2
+            for node in system.cluster.nodes
+        )
+
+    def test_multiple_parameters(self, system):
+        prepared = system.prepare(
+            "SELECT VALUE t.id FROM Tweets t "
+            "WHERE t.score >= $low AND t.score <= $high ORDER BY t.id LIMIT 3"
+        )
+        assert prepared.params == ["$high", "$low"]
+        got = prepared.execute(low=2, high=3)
+        assert got == [2, 3, 9]
+
+    def test_missing_parameter_rejected(self, system):
+        prepared = system.prepare("SELECT VALUE t FROM Tweets t WHERE t.id = $x")
+        with pytest.raises(SqlppAnalysisError, match=r"missing parameter.*\$x"):
+            prepared.execute()
+
+    def test_unknown_parameter_rejected(self, system):
+        prepared = system.prepare("SELECT VALUE t FROM Tweets t WHERE t.id = $x")
+        with pytest.raises(SqlppAnalysisError, match=r"unknown parameter"):
+            prepared.execute(x=1, y=2)
+
+    def test_close_undeploys(self, system):
+        prepared = system.prepare("SELECT VALUE t FROM Tweets t WHERE t.id = $x")
+        prepared.close()
+        assert not any(
+            node.has_job(prepared.job_id) for node in system.cluster.nodes
+        )
+        from repro.errors import HyracksError
+
+        with pytest.raises(HyracksError):
+            prepared.execute(x=1)
+
+    def test_prepare_rejects_ddl(self, system):
+        with pytest.raises(SqlppAnalysisError, match="exactly one SELECT"):
+            system.prepare("CREATE TYPE X AS OPEN { id: int64 }")
+
+    def test_invocation_cheaper_than_compile(self, system):
+        """The Figure 20 point: invoking skips compile + distribution."""
+        cost = system.cluster.cost_model
+        invoke = cost.job_startup(3, predeployed=True)
+        compile_run = cost.job_startup(3, predeployed=False)
+        assert invoke < compile_run / 5

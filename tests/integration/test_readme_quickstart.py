@@ -1,0 +1,61 @@
+"""The README quickstart snippet must keep working verbatim (scaled down)."""
+
+import json
+
+from repro import AsterixLite
+from repro.ingestion import GeneratorAdapter
+
+
+def test_readme_quickstart():
+    system = AsterixLite(num_nodes=3)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        CREATE TYPE WordType AS OPEN { wid: int64 };
+        CREATE DATASET SensitiveWords(WordType) PRIMARY KEY wid;
+        """
+    )
+    system.insert("SensitiveWords", [{"wid": 1, "country": "US", "word": "bomb"}])
+
+    system.execute(
+        """
+        CREATE FUNCTION tweetSafetyCheck(tweet) {
+            LET safety_check_flag = CASE
+                EXISTS(SELECT s FROM SensitiveWords s
+                       WHERE tweet.country = s.country AND
+                             contains(tweet.text, s.word))
+                WHEN true THEN "Red" ELSE "Green"
+                END
+            SELECT tweet.*, safety_check_flag
+        };
+        CREATE FEED TweetFeed WITH { "type-name": "TweetType" };
+        CONNECT FEED TweetFeed TO DATASET EnrichedTweets
+            APPLY FUNCTION tweetSafetyCheck;
+        """
+    )
+
+    raws = (
+        json.dumps({"id": i, "text": "...", "country": "US"}) for i in range(1000)
+    )
+    report = system.start_feed(
+        "TweetFeed", adapter=GeneratorAdapter(raws), batch_size=420
+    )
+    assert report.throughput > 0
+    assert report.refresh_period > 0
+    assert len(system.catalog["EnrichedTweets"]) == 1000
+
+
+def test_module_docstring_quickstart():
+    system = AsterixLite(num_nodes=3)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        """
+    )
+    system.insert("Tweets", [{"id": 0, "text": "Let there be light"}])
+    assert system.query("SELECT VALUE t.text FROM Tweets t") == [
+        "Let there be light"
+    ]

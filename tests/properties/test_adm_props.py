@@ -1,0 +1,119 @@
+"""Property-based tests for the ADM value layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import (
+    Circle,
+    DateTime,
+    Duration,
+    Point,
+    Rectangle,
+    make_type,
+    parse_json,
+    serialize,
+    spatial_intersect,
+)
+
+epoch_millis = st.integers(min_value=0, max_value=4_102_444_800_000)  # ..2100
+
+
+class TestDateTimeProperties:
+    @given(epoch_millis)
+    @settings(max_examples=200)
+    def test_components_roundtrip(self, millis):
+        dt = DateTime(millis)
+        year, month, day, hour, minute, second, ms = dt.components()
+        rebuilt = DateTime.of(year, month, day, hour, minute, second, ms)
+        assert rebuilt.epoch_millis == millis
+
+    @given(epoch_millis)
+    @settings(max_examples=200)
+    def test_isoformat_parse_roundtrip(self, millis):
+        dt = DateTime(millis)
+        assert DateTime.parse(dt.isoformat()) == dt
+
+    @given(epoch_millis, st.integers(0, 48))
+    @settings(max_examples=200)
+    def test_add_months_ordering(self, millis, months):
+        dt = DateTime(millis)
+        later = dt.add(Duration(months, 0))
+        if months:
+            assert later > dt
+        else:
+            assert later == dt
+
+    @given(epoch_millis, st.integers(-10**9, 10**9))
+    @settings(max_examples=200)
+    def test_millis_addition_exact(self, base, delta):
+        dt = DateTime(base)
+        assert dt.add(Duration(0, delta)).epoch_millis == base + delta
+
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+class TestGeometryProperties:
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=200)
+    def test_rectangle_always_normalized(self, x1, y1, x2, y2):
+        r = Rectangle(x1, y1, x2, y2)
+        assert r.x1 <= r.x2 and r.y1 <= r.y2
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=200)
+    def test_rectangle_contains_its_corners(self, x1, y1, x2, y2):
+        r = Rectangle(x1, y1, x2, y2)
+        assert r.contains_point(Point(r.x1, r.y1))
+        assert r.contains_point(Point(r.x2, r.y2))
+
+    @given(coords, coords, st.floats(0.001, 100, allow_nan=False), coords, coords)
+    @settings(max_examples=200)
+    def test_circle_mbr_covers_circle_hits(self, cx, cy, radius, px, py):
+        # Tolerance: hypot() can round a distance down to exactly r for a
+        # point a few ulps outside the box, so test against an inflated MBR.
+        circle = Circle(Point(cx, cy), radius)
+        p = Point(px, py)
+        if circle.contains_point(p):
+            mbr = circle.mbr
+            eps = 1e-9 * (1.0 + abs(cx) + abs(cy) + radius)
+            inflated = Rectangle(
+                mbr.x1 - eps, mbr.y1 - eps, mbr.x2 + eps, mbr.y2 + eps
+            )
+            assert inflated.contains_point(p)
+
+    @given(coords, coords, coords, coords, coords, coords, st.floats(0.001, 50))
+    @settings(max_examples=200)
+    def test_spatial_intersect_symmetric(self, x1, y1, x2, y2, cx, cy, radius):
+        shapes = [
+            Point(x1, y1),
+            Rectangle(x1, y1, x2, y2),
+            Circle(Point(cx, cy), radius),
+        ]
+        for a in shapes:
+            for b in shapes:
+                assert spatial_intersect(a, b) == spatial_intersect(b, a)
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSerializationProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=10), json_values, max_size=6))
+    @settings(max_examples=150)
+    def test_serialize_parse_roundtrip(self, record):
+        assert parse_json(serialize(record)) == record

@@ -1,0 +1,71 @@
+"""Properties of the simulated-time model."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import open_type
+from repro.cluster import Cluster
+from repro.hyracks.cost import CostModel, WorkMeter
+from repro.ingestion import DynamicIngestionPipeline, FeedDefinition, GeneratorAdapter
+from repro.storage import Dataset
+
+
+class TestCostModelProperties:
+    @given(st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_startup_monotone_in_nodes(self, nodes):
+        cost = CostModel()
+        assert cost.job_startup(nodes + 1, True) > cost.job_startup(nodes, True)
+        assert cost.job_startup(nodes + 1, False) > cost.job_startup(nodes, False)
+        assert cost.udf_job_overhead(nodes + 1) > cost.udf_job_overhead(nodes)
+
+    @given(
+        st.lists(
+            st.sampled_from(list(WorkMeter._COUNTERS)), min_size=1, max_size=8
+        ),
+        st.integers(1, 1000),
+    )
+    @settings(max_examples=80)
+    def test_charge_monotone_in_counters(self, counters, amount):
+        cost = CostModel()
+        meter = WorkMeter()
+        base = meter.charge(cost)
+        for name in counters:
+            setattr(meter, name, getattr(meter, name) + amount)
+        assert meter.charge(cost) > base
+
+    @given(st.floats(1.0, 1000.0), st.integers(0, 500))
+    @settings(max_examples=80)
+    def test_scale_never_decreases_charge(self, scale, scanned):
+        cost = CostModel()
+        unscaled = WorkMeter()
+        unscaled.records_scanned = scanned
+        scaled = WorkMeter(scale=scale)
+        scaled.records_scanned = scanned
+        assert scaled.charge(cost) >= unscaled.charge(cost)
+
+
+class TestSimulatedTimeProperties:
+    @given(
+        st.integers(min_value=20, max_value=120),
+        st.integers(min_value=5, max_value=60),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_simulated_time_positive_and_scales_with_volume(self, count, batch):
+        def run(n_records):
+            target = Dataset(
+                "T", open_type("TT", id="int64"), "id",
+                num_partitions=2, validate=False,
+            )
+            feed = FeedDefinition("F", "T", batch_size=batch)
+            report = DynamicIngestionPipeline(Cluster(2), {"T": target}).run(
+                feed,
+                GeneratorAdapter(json.dumps({"id": i}) for i in range(n_records)),
+            )
+            return report.simulated_seconds
+
+        small = run(count)
+        large = run(count * 3)
+        assert 0 < small < large

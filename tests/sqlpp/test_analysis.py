@@ -1,0 +1,142 @@
+"""Semantic analysis: free variables, statefulness, conjuncts, paths."""
+
+import pytest
+
+from repro.sqlpp import free_vars, is_stateful, parse_expression, split_conjuncts
+from repro.sqlpp.analysis import (
+    contains_aggregate,
+    dataset_references,
+    field_path_of,
+    references_only,
+)
+from repro.sqlpp.parser import parse_function
+from repro.udf.library import SQLPP_UDFS
+
+
+class TestFreeVars:
+    def test_simple_var(self):
+        assert free_vars(parse_expression("x + y")) == {"x", "y"}
+
+    def test_bound_excluded(self):
+        assert free_vars(parse_expression("x + y"), {"x"}) == {"y"}
+
+    def test_from_binds(self):
+        e = parse_expression("SELECT VALUE t.x FROM D t")
+        assert free_vars(e) == {"D"}
+
+    def test_let_binds_sequentially(self):
+        e = parse_expression("LET a = b, c = a SELECT VALUE c")
+        assert free_vars(e) == {"b"}
+
+    def test_subquery_scoping(self):
+        e = parse_expression(
+            "SELECT VALUE (SELECT VALUE s.w FROM S s WHERE s.c = t.c) FROM T t"
+        )
+        assert free_vars(e) == {"S", "T"}
+
+    def test_group_alias_binds_order_by(self):
+        e = parse_expression(
+            "SELECT VALUE cc FROM D d GROUP BY d.c AS cc ORDER BY cc"
+        )
+        assert free_vars(e) == {"D"}
+
+    def test_function_args_counted(self):
+        assert free_vars(parse_expression("f(x, g(y))")) == {"x", "y"}
+
+    def test_case_branches_counted(self):
+        e = parse_expression("CASE a WHEN b THEN c ELSE d END")
+        assert free_vars(e) == {"a", "b", "c", "d"}
+
+
+class TestStatefulness:
+    def test_stateless_udf(self):
+        fn = parse_function(SQLPP_UDFS["us_tweet_safety_check"])
+        assert not is_stateful(fn, {"SensitiveWords", "SafetyRatings"})
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "tweet_safety_check",
+            "safety_rating",
+            "religious_population",
+            "largest_religions",
+            "fuzzy_suspects",
+            "nearby_monuments",
+            "suspicious_names",
+            "tweet_context",
+            "worrisome_tweets",
+            "high_risk_tweet_check",
+        ],
+    )
+    def test_stateful_udfs(self, key):
+        fn = parse_function(SQLPP_UDFS[key])
+        catalog = {
+            "SensitiveWords",
+            "SafetyRatings",
+            "ReligiousPopulations",
+            "SensitiveNamesDataset",
+            "monumentList",
+            "Facilities",
+            "ReligiousBuildings",
+            "SuspiciousNames",
+            "AverageIncomes",
+            "DistrictAreas",
+            "Persons",
+            "AttackEvents",
+        }
+        assert is_stateful(fn, catalog)
+
+    def test_dataset_references(self):
+        fn = parse_function(SQLPP_UDFS["tweet_context"])
+        refs = dataset_references(
+            fn.body, {"AverageIncomes", "DistrictAreas", "Facilities", "Persons", "Other"}
+        )
+        assert refs == {"AverageIncomes", "DistrictAreas", "Facilities", "Persons"}
+
+
+class TestConjuncts:
+    def test_flattens_nested_ands(self):
+        e = parse_expression("a AND b AND (c AND d)")
+        assert len(split_conjuncts(e)) == 4
+
+    def test_or_not_split(self):
+        e = parse_expression("a OR b")
+        assert len(split_conjuncts(e)) == 1
+
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+
+class TestPathMatching:
+    def test_field_path_of_simple(self):
+        assert field_path_of(parse_expression("m.loc"), "m") == "loc"
+
+    def test_field_path_of_nested(self):
+        assert field_path_of(parse_expression("t.user.name"), "t") == "user.name"
+
+    def test_field_path_wrong_root(self):
+        assert field_path_of(parse_expression("x.loc"), "m") is None
+
+    def test_bare_var_is_not_a_path(self):
+        assert field_path_of(parse_expression("m"), "m") is None
+
+    def test_references_only(self):
+        e = parse_expression("a.x + b.y")
+        assert references_only(e, {"a", "b"})
+        assert not references_only(e, {"a"})
+
+
+class TestAggregateDetection:
+    def test_top_level_aggregate(self):
+        assert contains_aggregate(parse_expression("sum(r.v)"))
+
+    def test_nested_in_subquery_not_counted(self):
+        e = parse_expression("(SELECT sum(r.v) FROM D r)")
+        assert not contains_aggregate(e)
+
+    def test_inside_case(self):
+        e = parse_expression("CASE WHEN count(*) > 1 THEN 1 ELSE 0 END")
+        assert contains_aggregate(e)
+
+    def test_plain_call_not_aggregate(self):
+        assert not contains_aggregate(parse_expression('contains(t.x, "a")'))

@@ -1,0 +1,89 @@
+"""EvaluationContext knobs: allow_index, generations, cluster_nodes."""
+
+import pytest
+
+from repro.adm import Point, open_type
+from repro.sqlpp import EvaluationContext, Evaluator, parse_expression
+from repro.storage import Dataset, IndexKind
+
+
+@pytest.fixture
+def monuments():
+    ds = Dataset("monumentList", open_type("T"), "monument_id",
+                 num_partitions=2, validate=False)
+    for i in range(12):
+        ds.insert({"monument_id": f"m{i}", "monument_location": Point(float(i), 0.0)})
+    ds.flush_all()
+    ds.create_index("loc", "monument_location", IndexKind.RTREE)
+    return ds
+
+
+QUERY = (
+    "SELECT VALUE m.monument_id FROM monumentList m "
+    "WHERE spatial_intersect(m.monument_location, "
+    "create_circle(create_point(t.x, t.y), 1.5))"
+)
+
+
+class TestAllowIndex:
+    def test_allow_index_false_forces_scan(self, monuments):
+        ctx = EvaluationContext({"monumentList": monuments}, allow_index=False)
+        got = Evaluator(ctx).evaluate_query(
+            parse_expression(QUERY), {"t": {"x": 5.0, "y": 0.0}}
+        )
+        assert sorted(got) == ["m4", "m5", "m6"]
+        assert ctx.meter.rtree_nodes_visited == 0
+        assert ("scan", "monumentList") in ctx.batch_cache
+
+    def test_allow_index_true_probes(self, monuments):
+        ctx = EvaluationContext({"monumentList": monuments}, allow_index=True)
+        got = Evaluator(ctx).evaluate_query(
+            parse_expression(QUERY), {"t": {"x": 5.0, "y": 0.0}}
+        )
+        assert sorted(got) == ["m4", "m5", "m6"]
+        assert ctx.meter.rtree_nodes_visited > 0
+
+    def test_both_plans_agree_on_results(self, monuments):
+        for x in (0.0, 3.3, 11.0, 50.0):
+            results = []
+            for allow in (True, False):
+                ctx = EvaluationContext(
+                    {"monumentList": monuments}, allow_index=allow
+                )
+                results.append(
+                    sorted(
+                        Evaluator(ctx).evaluate_query(
+                            parse_expression(QUERY), {"t": {"x": x, "y": 0.0}}
+                        )
+                    )
+                )
+            assert results[0] == results[1], x
+
+
+class TestGenerations:
+    def test_generation_counter(self, monuments):
+        ctx = EvaluationContext({"monumentList": monuments})
+        assert ctx.generation == 0
+        ctx.refresh_batch()
+        ctx.refresh_batch()
+        assert ctx.generation == 2
+
+    def test_refresh_clears_all_cache_kinds(self, monuments):
+        ctx = EvaluationContext({"monumentList": monuments}, allow_index=False)
+        Evaluator(ctx).evaluate_query(
+            parse_expression(QUERY), {"t": {"x": 1.0, "y": 0.0}}
+        )
+        assert ctx.batch_cache
+        ctx.refresh_batch()
+        assert not ctx.batch_cache
+
+    def test_broadcast_uses_cluster_nodes(self, monuments):
+        small = EvaluationContext({"monumentList": monuments})
+        small.cluster_nodes = 2
+        big = EvaluationContext({"monumentList": monuments})
+        big.cluster_nodes = 24
+        for ctx in (small, big):
+            Evaluator(ctx).evaluate_query(
+                parse_expression(QUERY), {"t": {"x": 5.0, "y": 0.0}}
+            )
+        assert big.meter.broadcast_records > small.meter.broadcast_records

@@ -1,0 +1,255 @@
+"""Expression and SELECT evaluation semantics."""
+
+import pytest
+
+from repro.adm import DateTime, Duration, open_type
+from repro.adm.values import MISSING
+from repro.errors import SqlppAnalysisError, SqlppEvaluationError
+from repro.sqlpp import EvaluationContext, Evaluator, parse_expression
+from repro.storage import Dataset
+
+
+def make_eval(catalog=None, registry=None):
+    return Evaluator(EvaluationContext(catalog or {}, functions=registry))
+
+
+def run(text, bindings=None, catalog=None, registry=None):
+    return make_eval(catalog, registry).evaluate_query(
+        parse_expression(text), bindings or {}
+    )
+
+
+class TestScalarExpressions:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("10 / 4", 2.5),
+            ("10 % 3", 1),
+            ("-(2 + 3)", -5),
+            ('"a" + "b"', "ab"),
+            ("1 < 2", True),
+            ("2 <= 2", True),
+            ('"a" != "b"', True),
+            ("true AND false", False),
+            ("true OR false", True),
+            ("NOT false", True),
+            ("2 IN [1, 2, 3]", True),
+            ("5 NOT IN [1, 2]", True),
+            ("[1, 2, 3][1]", 2),
+            ("[1, 2, 3][-1]", 3),
+            ('{"a": 1}.a', 1),
+        ],
+    )
+    def test_expressions(self, text, expected):
+        assert run(text) == expected
+
+    def test_out_of_range_index_is_missing(self):
+        assert run("[1][5]") is MISSING
+
+    def test_field_of_non_object_is_missing(self):
+        assert run("x.field", {"x": 42}) is MISSING
+
+    def test_absent_field_is_missing(self):
+        assert run("x.nope", {"x": {"a": 1}}) is MISSING
+
+    def test_missing_propagates_through_comparison(self):
+        assert run("x.nope = 1", {"x": {}}) is MISSING
+
+    def test_null_propagates(self):
+        assert run("x + 1", {"x": None}) is None
+
+    def test_and_treats_unknown_as_false(self):
+        assert run("x.nope AND true", {"x": {}}) is False
+
+    def test_string_plus_number_raises(self):
+        with pytest.raises(SqlppEvaluationError):
+            run('"a" + 1')
+
+    def test_unresolved_variable_raises(self):
+        with pytest.raises(SqlppAnalysisError, match="unresolved variable"):
+            run("nope")
+
+    def test_datetime_plus_duration(self):
+        bindings = {
+            "t": DateTime.parse("2019-03-01T00:00:00Z"),
+            "d": Duration.parse("P2M"),
+        }
+        result = run("t + d", bindings)
+        assert result.isoformat().startswith("2019-05-01")
+
+    def test_case_with_operand(self):
+        assert run('CASE 1 = 1 WHEN true THEN "yes" ELSE "no" END') == "yes"
+
+    def test_searched_case_first_match(self):
+        assert run("CASE WHEN false THEN 1 WHEN true THEN 2 ELSE 3 END") == 2
+
+    def test_case_no_match_yields_null(self):
+        assert run("CASE 5 WHEN 1 THEN 1 END") is None
+
+    def test_object_constructor_drops_missing(self):
+        assert run('{"a": 1, "b": x.nope}', {"x": {}}) == {"a": 1}
+
+
+class TestSelectWithoutFrom:
+    def test_select_value(self):
+        assert run("SELECT VALUE 1 + 1") == [2]
+
+    def test_let_select_star_merge(self):
+        result = run(
+            'LET flag = "Red" SELECT t.*, flag',
+            {"t": {"id": 1, "text": "x"}},
+        )
+        assert result == [{"id": 1, "text": "x", "flag": "Red"}]
+
+    def test_where_false_gives_empty(self):
+        assert run("SELECT VALUE 1 FROM [1] x WHERE false") == []
+
+
+class TestSelectFrom:
+    def test_iterate_array(self):
+        assert run("SELECT VALUE x * 2 FROM [1, 2, 3] x") == [2, 4, 6]
+
+    def test_where_filters(self):
+        assert run("SELECT VALUE x FROM [1, 2, 3, 4] x WHERE x % 2 = 0") == [2, 4]
+
+    def test_cross_product(self):
+        got = run("SELECT a, b FROM [1, 2] a, [10, 20] b")
+        assert len(got) == 4
+
+    def test_join_condition(self):
+        got = run(
+            "SELECT a, b FROM [1, 2, 3] a, [2, 3, 4] b WHERE a = b"
+        )
+        assert got == [{"a": 2, "b": 2}, {"a": 3, "b": 3}]
+
+    def test_order_by(self):
+        got = run("SELECT VALUE x FROM [3, 1, 2] x ORDER BY x")
+        assert got == [1, 2, 3]
+
+    def test_order_by_desc(self):
+        got = run("SELECT VALUE x FROM [3, 1, 2] x ORDER BY x DESC")
+        assert got == [3, 2, 1]
+
+    def test_limit(self):
+        assert run("SELECT VALUE x FROM [5, 4, 3, 2, 1] x ORDER BY x LIMIT 2") == [1, 2]
+
+    def test_limit_validation(self):
+        with pytest.raises(SqlppEvaluationError):
+            run("SELECT VALUE x FROM [1] x LIMIT -1")
+
+    def test_distinct(self):
+        assert run("SELECT DISTINCT VALUE x FROM [1, 2, 1, 3, 2] x") == [1, 2, 3]
+
+    def test_projection_default_aliases(self):
+        got = run("SELECT t.a, t.b FROM [{'a': 1, 'b': 2}] t")
+        assert got == [{"a": 1, "b": 2}]
+
+    def test_missing_projection_omitted(self):
+        got = run("SELECT t.a, t.nope FROM [{'a': 1}] t")
+        assert got == [{"a": 1}]
+
+    def test_let_after_from_visible_in_where(self):
+        got = run(
+            "SELECT VALUE y FROM [1, 2, 3] x LET y = x * 10 WHERE y > 15"
+        )
+        assert got == [20, 30]
+
+    def test_from_missing_source_is_empty(self):
+        assert run("SELECT VALUE x FROM t.nope x", {"t": {}}) == []
+
+    def test_non_iterable_source_raises(self):
+        with pytest.raises(SqlppEvaluationError, match="not iterable"):
+            run("SELECT VALUE x FROM t.num x", {"t": {"num": 5}})
+
+
+class TestAggregation:
+    ROWS = "[{'c': 'US', 'v': 1}, {'c': 'US', 'v': 3}, {'c': 'FR', 'v': 5}]"
+
+    def test_implicit_single_group(self):
+        got = run(f"SELECT sum(r.v) FROM {self.ROWS} r")
+        assert got == [{"sum": 9}]
+
+    def test_implicit_group_empty_input(self):
+        got = run("SELECT count(*) AS n FROM [] r")
+        assert got == [{"n": 0}]
+
+    def test_group_by_counts(self):
+        got = run(
+            f"SELECT r.c AS c, count(*) AS n FROM {self.ROWS} r GROUP BY r.c"
+        )
+        assert sorted((g["c"], g["n"]) for g in got) == [("FR", 1), ("US", 2)]
+
+    def test_group_key_reference_without_alias(self):
+        got = run(f"SELECT r.c, sum(r.v) AS total FROM {self.ROWS} r GROUP BY r.c")
+        assert sorted((g["c"], g["total"]) for g in got) == [("FR", 5), ("US", 4)]
+
+    def test_group_by_alias_binding(self):
+        got = run(
+            f"SELECT cc, count(*) AS n FROM {self.ROWS} r GROUP BY r.c AS cc"
+        )
+        assert {g["cc"] for g in got} == {"US", "FR"}
+
+    def test_order_by_aggregate(self):
+        got = run(
+            f"SELECT VALUE r.c FROM {self.ROWS} r GROUP BY r.c ORDER BY count(r) DESC"
+        )
+        assert got == ["US", "FR"]
+
+    def test_aggregates_avg_min_max(self):
+        got = run(
+            f"SELECT avg(r.v) AS a, min(r.v) AS lo, max(r.v) AS hi FROM {self.ROWS} r"
+        )
+        assert got == [{"a": 3.0, "lo": 1, "hi": 5}]
+
+    def test_count_ignores_null_and_missing(self):
+        got = run("SELECT count(r.v) AS n FROM [{'v': 1}, {'v': null}, {}] r")
+        assert got == [{"n": 1}]
+
+    def test_sum_over_empty_group_is_null(self):
+        got = run("SELECT sum(r.v) AS s FROM [] r")
+        assert got == [{"s": None}]
+
+    def test_array_form_outside_group(self):
+        assert run("sum([1, 2, 3])") == 6
+        assert run("count([1, 2])") == 2
+
+    def test_array_form_requires_array(self):
+        with pytest.raises(SqlppEvaluationError):
+            run("sum(5)")
+
+
+class TestSubqueries:
+    def test_subquery_yields_array(self):
+        got = run("LET xs = (SELECT VALUE y FROM [1, 2] y) SELECT VALUE xs")
+        assert got == [[1, 2]]
+
+    def test_exists(self):
+        assert run("EXISTS(SELECT VALUE x FROM [1] x)") is True
+        assert run("EXISTS(SELECT VALUE x FROM [] x)") is False
+
+    def test_in_subquery(self):
+        got = run("SELECT VALUE 2 IN (SELECT VALUE x FROM [1, 2] x)")
+        assert got == [True]
+
+    def test_correlated_subquery(self):
+        got = run(
+            "SELECT VALUE (SELECT VALUE y FROM [1, 2, 3] y WHERE y > x)"
+            " FROM [1, 2] x"
+        )
+        assert got == [[2, 3], [3]]
+
+
+class TestDatasetAccess:
+    def test_from_dataset(self):
+        ds = Dataset("D", open_type("T", id="int64"), "id")
+        for i in range(5):
+            ds.insert({"id": i})
+        got = run("SELECT VALUE d.id FROM D d", catalog={"D": ds})
+        assert sorted(got) == [0, 1, 2, 3, 4]
+
+    def test_dataset_shadowed_by_binding(self):
+        ds = Dataset("D", open_type("T", id="int64"), "id")
+        ds.insert({"id": 1})
+        got = run("SELECT VALUE d FROM D d", {"D": [9]}, catalog={"D": ds})
+        assert got == [9]

@@ -1,0 +1,69 @@
+"""EXPLAIN: physical-plan descriptions."""
+
+import pytest
+
+from repro import AsterixLite
+
+
+@pytest.fixture
+def system():
+    s = AsterixLite(num_nodes=3)
+    s.execute(
+        "CREATE TYPE T AS OPEN { id: int64 };"
+        "CREATE DATASET Tweets(T) PRIMARY KEY id;"
+    )
+    return s
+
+
+class TestExplain:
+    def test_scan_plan(self, system):
+        plan = system.explain("SELECT VALUE t.id FROM Tweets t")
+        assert plan.startswith("hyracks:")
+        assert "scan Tweets (3 partitions)" in plan
+        assert plan.endswith("project value")
+
+    def test_filter_group_plan(self, system):
+        plan = system.explain(
+            "SELECT t.country AS c, count(*) AS n FROM Tweets t "
+            "WHERE t.id > 5 GROUP BY t.country"
+        )
+        assert "filter" in plan
+        assert "hash group-by (1 key(s))" in plan
+
+    def test_order_limit_plan(self, system):
+        plan = system.explain(
+            "SELECT VALUE t.id FROM Tweets t ORDER BY t.id LIMIT 3"
+        )
+        assert "sort (1 key(s))" in plan
+        assert "limit" in plan
+
+    def test_join_falls_to_interpreter(self, system):
+        plan = system.explain(
+            "SELECT VALUE [a.id, b.id] FROM Tweets a, Tweets b WHERE a.id = b.id"
+        )
+        assert plan.startswith("interpreter:")
+        assert "join over [Tweets, Tweets]" in plan
+
+    def test_let_assign_shown(self, system):
+        plan = system.explain(
+            "SELECT VALUE y FROM Tweets t LET y = t.id * 2"
+        )
+        assert "assign y" in plan
+
+    def test_array_source(self, system):
+        plan = system.explain("SELECT VALUE x FROM [1, 2] x")
+        assert plan.startswith("interpreter:")
+
+    def test_explain_rejects_ddl(self, system):
+        from repro.errors import SqlppAnalysisError
+
+        with pytest.raises(SqlppAnalysisError):
+            system.explain("CREATE TYPE X AS OPEN { id: int64 }")
+
+    def test_plan_matches_execution_strategy(self, system):
+        from repro.sqlpp.parser import parse_expression
+
+        compiled = system._compiler.compile(
+            parse_expression("SELECT VALUE t FROM Tweets t")
+        )
+        assert compiled.plan.split(":")[0] == compiled.strategy

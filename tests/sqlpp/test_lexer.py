@@ -1,0 +1,79 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import SqlppSyntaxError
+from repro.sqlpp.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers(self):
+        assert kinds("Tweets t_1")[0] == ("ident", "Tweets")
+
+    def test_numbers(self):
+        assert kinds("42 3.14 1e5") == [
+            ("number", "42"),
+            ("number", "3.14"),
+            ("number", "1e5"),
+        ]
+
+    def test_number_then_path_dot(self):
+        # "(...)[0].x" style: dot after int must not merge into the number
+        toks = kinds("1.x")
+        assert toks == [("number", "1"), ("punct", "."), ("ident", "x")]
+
+    def test_strings_both_quotes(self):
+        assert kinds('"abc" \'def\'') == [("string", "abc"), ("string", "def")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\"b\n"') == [("string", 'a"b\n')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlppSyntaxError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_multi_char_punct(self):
+        assert kinds("<= >= !=") == [
+            ("punct", "<="),
+            ("punct", ">="),
+            ("punct", "!="),
+        ]
+
+    def test_line_comments_skipped(self):
+        assert kinds("a -- comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments_skipped(self):
+        assert kinds("a /* x \n y */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_hint_comment_tokenized(self):
+        toks = kinds("FROM m /*+ no-index */")
+        assert ("hint", "no-index") in toks
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SqlppSyntaxError):
+            tokenize("/* never ends")
+
+    def test_backtick_identifiers(self):
+        assert kinds("`select`") == [("ident", "select")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlppSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_positions_tracked(self):
+        tok = tokenize("a\n  b")[1]
+        assert (tok.line, tok.column) == (2, 3)
+
+    def test_library_call_tokens(self):
+        assert kinds("testlib#removeSpecial") == [
+            ("ident", "testlib"),
+            ("punct", "#"),
+            ("ident", "removeSpecial"),
+        ]

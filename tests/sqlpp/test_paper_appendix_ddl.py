@@ -1,0 +1,141 @@
+"""The paper's appendix DDL (Figures 32-40) parses and executes verbatim."""
+
+import pytest
+
+from repro import AsterixLite
+
+APPENDIX_DDL = """
+CREATE TYPE SafetyRatingType AS open {
+    country_code : string,
+    safety_rating: string
+};
+CREATE DATASET SafetyRatings(SafetyRatingType)
+    PRIMARY KEY country_code;
+
+CREATE TYPE ReligiousPopulationType AS open {
+    rid : string,
+    country_name : string,
+    religion_name : string,
+    population: int
+};
+CREATE DATASET ReligiousPopulations
+    (ReligiousPopulationType) PRIMARY KEY rid;
+
+CREATE TYPE monumentType AS open {
+    monument_id: string,
+    monument_location: point
+};
+CREATE DATASET monumentList(monumentType)
+    PRIMARY KEY monument_id;
+
+CREATE TYPE ReligiousBuildingType AS open {
+    religious_building_id : string,
+    religion_name : string,
+    building_location : point,
+    registered_believer: int
+};
+CREATE DATASET ReligiousBuildings(ReligiousBuildingType) PRIMARY KEY religious_building_id;
+
+CREATE TYPE FacilityType AS open {
+    facility_id: string,
+    facility_location: point,
+    facility_type: string
+};
+CREATE DATASET Facilities(FacilityType) PRIMARY KEY facility_id;
+
+CREATE TYPE SuspiciousNamesType AS open {
+    suspicious_name_id: string,
+    suspicious_name: string,
+    religion_name: string,
+    threat_level: int
+};
+CREATE DATASET SuspiciousNames(SuspiciousNamesType) PRIMARY KEY suspicious_name_id;
+
+CREATE TYPE DistrictAreaType AS open {
+    district_area_id : string,
+    district_area : rectangle
+};
+CREATE DATASET DistrictAreas(DistrictAreaType) PRIMARY KEY district_area_id;
+
+CREATE TYPE AverageIncomeType AS open {
+    district_area_id: string,
+    average_income: double
+};
+CREATE DATASET AverageIncomes(AverageIncomeType) PRIMARY KEY district_area_id;
+
+CREATE TYPE PersonType AS open {
+    person_id: string,
+    ethnicity: string,
+    location: point
+};
+CREATE DATASET Persons(PersonType) PRIMARY KEY person_id;
+
+CREATE TYPE AttackEventsType AS open {
+    attack_record_id: string,
+    attack_datetime: datetime,
+    attack_location: point,
+    related_religion: string
+};
+CREATE DATASET AttackEvents(AttackEventsType) PRIMARY KEY attack_record_id;
+"""
+
+
+class TestAppendixDdl:
+    def test_all_appendix_statements_execute(self):
+        system = AsterixLite(num_nodes=2)
+        system.execute(APPENDIX_DDL)
+        expected = {
+            "SafetyRatings",
+            "ReligiousPopulations",
+            "monumentList",
+            "ReligiousBuildings",
+            "Facilities",
+            "SuspiciousNames",
+            "DistrictAreas",
+            "AverageIncomes",
+            "Persons",
+            "AttackEvents",
+        }
+        assert expected <= set(system.catalog)
+
+    def test_appendix_types_validate_generated_records(self):
+        """The workload generators conform to the appendix datatypes."""
+        from repro.workloads import PaperWorkload, WorkloadScale
+
+        system = AsterixLite(num_nodes=2)
+        system.execute(APPENDIX_DDL)
+        workload = PaperWorkload(
+            scale=WorkloadScale(reference_scale=0.0005), num_partitions=2
+        )
+        checks = [
+            ("SafetyRatings", workload.safety_ratings(size=20)),
+            ("ReligiousPopulations", workload.religious_populations(size=20)),
+            ("monumentList", workload.monuments(size=20)),
+            ("ReligiousBuildings", workload.religious_buildings(size=20)),
+            ("Facilities", workload.facilities(size=20)),
+            ("SuspiciousNames", workload.suspicious_names(size=20)),
+            ("DistrictAreas", workload.district_areas()),
+            ("AverageIncomes", workload.average_incomes()),
+            ("Persons", workload.persons(size=20)),
+            ("AttackEvents", workload.attack_events(size=20)),
+        ]
+        for name, records in checks:
+            datatype = system.catalog[name].datatype
+            for record in records:
+                datatype.validate(record)
+
+    def test_figure_37_index_ddl(self):
+        system = AsterixLite(num_nodes=2)
+        system.execute(APPENDIX_DDL)
+        system.execute(
+            "CREATE INDEX monumentLocIdx ON monumentList(monument_location) "
+            "TYPE RTREE"
+        )
+        from repro.storage import IndexKind
+
+        assert (
+            system.catalog["monumentList"].index_on(
+                "monument_location", IndexKind.RTREE
+            )
+            == "monumentLocIdx"
+        )

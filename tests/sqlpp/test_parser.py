@@ -1,0 +1,292 @@
+"""Parser: expressions, select blocks, statements, the paper's queries."""
+
+import pytest
+
+from repro.errors import SqlppSyntaxError
+from repro.sqlpp.ast import (
+    BinaryOp,
+    Call,
+    CaseExpr,
+    Exists,
+    FieldAccess,
+    IndexAccess,
+    Literal,
+    ObjectConstructor,
+    SelectBlock,
+    Star,
+    Subquery,
+    UnaryOp,
+    VarRef,
+)
+from repro.sqlpp.parser import (
+    parse_expression,
+    parse_function,
+    parse_statement,
+    parse_statements,
+)
+from repro.sqlpp.statements import (
+    ConnectFeed,
+    CreateDataset,
+    CreateFeed,
+    CreateIndex,
+    CreateType,
+    InsertStatement,
+    QueryStatement,
+    StartFeed,
+)
+from repro.udf.library import SQLPP_UDFS
+
+
+class TestExpressions:
+    def test_precedence_and_over_or(self):
+        e = parse_expression("a OR b AND c")
+        assert isinstance(e, BinaryOp) and e.op == "or"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "and"
+
+    def test_precedence_arithmetic(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_comparison(self):
+        e = parse_expression("a.x <= 5")
+        assert e.op == "<=" and isinstance(e.left, FieldAccess)
+
+    def test_not_unary(self):
+        e = parse_expression("NOT a")
+        assert isinstance(e, UnaryOp) and e.op == "not"
+
+    def test_negative_number(self):
+        e = parse_expression("-5")
+        assert isinstance(e, UnaryOp) and e.operand == Literal(5)
+
+    def test_path_chain(self):
+        e = parse_expression("x.user.screen_name")
+        assert isinstance(e, FieldAccess) and e.field == "screen_name"
+        assert e.base.field == "user"
+
+    def test_index_access(self):
+        e = parse_expression("arr[0]")
+        assert isinstance(e, IndexAccess) and e.index == Literal(0)
+
+    def test_subquery_index_access(self):
+        e = parse_expression("(SELECT VALUE x FROM D x)[0]")
+        assert isinstance(e, IndexAccess) and isinstance(e.base, Subquery)
+
+    def test_function_call(self):
+        e = parse_expression('contains(t.text, "bomb")')
+        assert isinstance(e, Call) and e.name == "contains" and len(e.args) == 2
+
+    def test_library_call(self):
+        e = parse_expression("testlib#removeSpecial(x)")
+        assert e.library == "testlib" and e.name == "removeSpecial"
+        assert e.qualified_name == "testlib#removeSpecial"
+
+    def test_count_star(self):
+        e = parse_expression("count(*)")
+        assert isinstance(e.args[0], Star)
+
+    def test_in_operator(self):
+        e = parse_expression("a IN [1, 2]")
+        assert e.op == "in"
+
+    def test_not_in(self):
+        e = parse_expression("a NOT IN [1]")
+        assert e.op == "not_in"
+
+    def test_exists(self):
+        e = parse_expression("EXISTS(SELECT VALUE 1)")
+        assert isinstance(e, Exists)
+
+    def test_case_with_operand(self):
+        e = parse_expression('CASE x WHEN true THEN "a" ELSE "b" END')
+        assert isinstance(e, CaseExpr) and e.operand is not None
+
+    def test_searched_case(self):
+        e = parse_expression("CASE WHEN x > 1 THEN 1 WHEN x > 0 THEN 2 END")
+        assert e.operand is None and len(e.whens) == 2 and e.default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlppSyntaxError):
+            parse_expression("CASE x END")
+
+    def test_object_constructor(self):
+        e = parse_expression('{"id": 1, "nested": {"a": true}}')
+        assert isinstance(e, ObjectConstructor)
+        assert e.fields[0][0] == "id"
+
+    def test_missing_and_null_literals(self):
+        from repro.sqlpp.ast import MissingLiteral
+
+        assert parse_expression("null") == Literal(None)
+        assert isinstance(parse_expression("missing"), MissingLiteral)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(SqlppSyntaxError, match="trailing"):
+            parse_expression("1 2")
+
+
+class TestSelectBlocks:
+    def test_select_value(self):
+        block = parse_expression("SELECT VALUE t.x FROM D t")
+        assert isinstance(block, SelectBlock)
+        assert block.select_value is not None
+        assert block.from_terms[0].var == "t"
+
+    def test_projection_aliases(self):
+        block = parse_expression(
+            "SELECT f.ft FacilityType, count(*) AS Cnt FROM F f"
+        )
+        assert block.projections[0].alias == "FacilityType"
+        assert block.projections[1].alias == "Cnt"
+
+    def test_star_projection(self):
+        block = parse_expression("SELECT t.*, flag FROM D t")
+        assert isinstance(block.projections[0].expr, Star)
+        assert isinstance(block.projections[1].expr, VarRef)
+
+    def test_from_comma_join(self):
+        block = parse_expression("SELECT a.x FROM A a, B b WHERE a.k = b.k")
+        assert [t.var for t in block.from_terms] == ["a", "b"]
+
+    def test_let_before_select(self):
+        block = parse_expression("LET y = 1 SELECT VALUE y")
+        assert block.lets[0].var == "y"
+
+    def test_let_after_from(self):
+        block = parse_expression("SELECT VALUE y FROM D t LET y = t.x + 1")
+        assert block.post_lets[0].var == "y"
+
+    def test_multiple_lets_comma(self):
+        block = parse_expression("LET a = 1, b = 2 SELECT VALUE a + b")
+        assert [l.var for l in block.lets] == ["a", "b"]
+
+    def test_group_by_with_alias(self):
+        block = parse_expression(
+            "SELECT ethnicity, count(*) AS n FROM P p GROUP BY p.ethnicity AS ethnicity"
+        )
+        assert block.group_keys[0].alias == "ethnicity"
+
+    def test_order_by_desc_and_limit(self):
+        block = parse_expression(
+            "SELECT VALUE r.n FROM R r ORDER BY r.population DESC, r.n LIMIT 3"
+        )
+        assert block.order_items[0].descending
+        assert not block.order_items[1].descending
+        assert block.limit == Literal(3)
+
+    def test_distinct(self):
+        block = parse_expression("SELECT DISTINCT t.x FROM D t")
+        assert block.distinct
+
+    def test_from_hint_captured(self):
+        block = parse_expression(
+            "SELECT VALUE m.id FROM monumentList /*+ no-index */ m"
+        )
+        assert "no-index" in block.from_terms[0].hints
+
+    def test_where_clause(self):
+        block = parse_expression("SELECT VALUE t FROM D t WHERE t.x = 1 AND t.y = 2")
+        assert isinstance(block.where, BinaryOp)
+
+    def test_from_without_variable_defaults_to_name(self):
+        block = parse_expression("SELECT VALUE Tweets FROM Tweets WHERE true")
+        assert block.from_terms[0].var == "Tweets"
+
+
+class TestFunctions:
+    def test_parse_function_definition(self):
+        fn = parse_function(
+            "CREATE FUNCTION f(a, b) { SELECT VALUE a + b }"
+        )
+        assert fn.name == "f" and fn.params == ["a", "b"]
+
+    @pytest.mark.parametrize("key", sorted(SQLPP_UDFS))
+    def test_all_paper_udfs_parse(self, key):
+        fn = parse_function(SQLPP_UDFS[key])
+        assert fn.name and len(fn.params) == 1
+
+
+class TestStatements:
+    def test_create_type(self):
+        stmt = parse_statement(
+            "CREATE TYPE TweetType AS OPEN { id: int64, text: string }"
+        )
+        assert isinstance(stmt, CreateType)
+        assert stmt.fields == {"id": "int64", "text": "string"}
+        assert stmt.is_open
+
+    def test_create_closed_type(self):
+        stmt = parse_statement("CREATE TYPE T AS CLOSED { id: int64 }")
+        assert not stmt.is_open
+
+    def test_create_dataset(self):
+        stmt = parse_statement("CREATE DATASET Tweets(TweetType) PRIMARY KEY id")
+        assert isinstance(stmt, CreateDataset)
+        assert (stmt.name, stmt.type_name, stmt.primary_key) == (
+            "Tweets",
+            "TweetType",
+            "id",
+        )
+
+    def test_create_index(self):
+        stmt = parse_statement(
+            "CREATE INDEX monLoc ON monumentList(monument_location) TYPE RTREE"
+        )
+        assert isinstance(stmt, CreateIndex) and stmt.index_type == "rtree"
+
+    def test_create_feed(self):
+        stmt = parse_statement(
+            'CREATE FEED TweetFeed WITH { "type-name": "TweetType", "format": "JSON" }'
+        )
+        assert isinstance(stmt, CreateFeed)
+        assert stmt.config["type-name"] == "TweetType"
+
+    def test_connect_feed_with_function(self):
+        stmt = parse_statement(
+            "CONNECT FEED TweetFeed TO DATASET EnrichedTweets "
+            "APPLY FUNCTION USTweetSafetyCheck"
+        )
+        assert isinstance(stmt, ConnectFeed)
+        assert stmt.apply_functions == ["USTweetSafetyCheck"]
+
+    def test_start_feed(self):
+        assert isinstance(parse_statement("START FEED TweetFeed"), StartFeed)
+
+    def test_insert_statement(self):
+        stmt = parse_statement(
+            'INSERT INTO Tweets ([{"id": 0, "text": "Let there be light"}])'
+        )
+        assert isinstance(stmt, InsertStatement) and not stmt.upsert
+
+    def test_upsert_statement(self):
+        stmt = parse_statement("UPSERT INTO D (SELECT VALUE t FROM S t)")
+        assert stmt.upsert
+
+    def test_query_statement(self):
+        stmt = parse_statement("SELECT VALUE 1")
+        assert isinstance(stmt, QueryStatement)
+
+    def test_multiple_statements(self):
+        stmts = parse_statements(
+            "CREATE TYPE T AS OPEN { id: int64 };"
+            "CREATE DATASET D(T) PRIMARY KEY id;"
+        )
+        assert len(stmts) == 2
+
+    def test_paper_figure_9_analytical_query(self):
+        stmt = parse_statement(
+            """
+            SELECT tweet.country Country, count(tweet) Num
+            FROM Tweets tweet
+            LET enrichedTweet = tweetSafetyCheck(tweet)[0]
+            WHERE enrichedTweet.safety_check_flag = "Red"
+            GROUP BY tweet.country
+            """
+        )
+        block = stmt.query
+        assert block.post_lets[0].var == "enrichedTweet"
+        assert len(block.group_keys) == 1
+
+    def test_bad_statement_rejected(self):
+        with pytest.raises(SqlppSyntaxError):
+            parse_statement("DROP DATASET D")

@@ -1,0 +1,63 @@
+"""Parser error reporting: every malformed input names its problem."""
+
+import pytest
+
+from repro.errors import SqlppSyntaxError
+from repro.sqlpp.parser import parse_expression, parse_statement
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("SELECT", "expected an expression"),
+        ("SELECT VALUE", "expected an expression"),
+        ("SELECT VALUE x FROM", "expected an expression"),
+        ("CASE x THEN 1 END", "WHEN"),
+        ("CASE x WHEN 1 END", "expected then"),
+        ("EXISTS SELECT VALUE 1", "expected '('"),
+        ("{'a' 1}", "expected ':'"),
+        ("[1, 2", "expected ']'"),
+        ("f(1, ", "expected an expression"),
+        ("a.", "field name"),
+        ("x[1", "expected ']'"),
+        ("(1 + 2", "expected ')'"),
+        ("SELECT VALUE x FROM [1] x GROUP", "expected by"),
+        ("SELECT VALUE x FROM [1] x ORDER LIMIT 1", "expected by"),
+    ],
+)
+def test_expression_errors(source, fragment):
+    with pytest.raises(SqlppSyntaxError) as info:
+        parse_expression(source)
+    assert fragment.lower() in str(info.value).lower()
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("CREATE", "expected TYPE, DATASET, INDEX, FUNCTION, or FEED"),
+        ("CREATE TYPE T { id: int64 }", "expected as"),
+        ("CREATE DATASET D(T)", "expected primary"),
+        ("CREATE DATASET D(T) PRIMARY id", "expected key"),
+        ("CREATE FUNCTION f { 1 }", "expected '('"),
+        ("CONNECT FEED F DATASET D", "expected to"),
+        ("START F", "expected feed"),
+        ("INSERT D (SELECT VALUE 1)", "expected into"),
+        ('CREATE FEED F WITH { "a": f(1) }', "literals"),
+    ],
+)
+def test_statement_errors(source, fragment):
+    with pytest.raises(SqlppSyntaxError) as info:
+        parse_statement(source)
+    assert fragment.lower() in str(info.value).lower()
+
+
+def test_error_location_points_at_token():
+    with pytest.raises(SqlppSyntaxError) as info:
+        parse_expression("1 +\n    SELECT")
+    # SELECT (keyword) cannot start an operand of '+' at line 2
+    assert info.value.line == 2
+
+
+def test_found_token_quoted_in_message():
+    with pytest.raises(SqlppSyntaxError, match="found"):
+        parse_expression("a. .")

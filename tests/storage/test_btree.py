@@ -1,0 +1,111 @@
+"""B+-tree structure and posting-list behaviour."""
+
+import random
+
+import pytest
+
+from repro.storage import BPlusTree
+
+
+@pytest.fixture
+def loaded():
+    tree = BPlusTree(order=8)
+    rnd = random.Random(0)
+    keys = list(range(300))
+    rnd.shuffle(keys)
+    for k in keys:
+        tree.insert(k, f"pk{k}")
+    return tree
+
+
+class TestInsertSearch:
+    def test_point_search(self, loaded):
+        assert loaded.search(150) == {"pk150"}
+
+    def test_absent_key(self, loaded):
+        assert loaded.search(9999) == set()
+
+    def test_duplicate_posting_idempotent(self):
+        tree = BPlusTree()
+        tree.insert("a", 1)
+        tree.insert("a", 1)
+        assert len(tree) == 1
+        assert tree.search("a") == {1}
+
+    def test_multiple_postings_per_key(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.search("k") == {1, 2}
+        assert len(tree) == 2
+
+    def test_splits_grow_height(self, loaded):
+        assert loaded.height >= 2
+        loaded.check_invariants()
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["delta", "alpha", "echo", "bravo", "charlie"]:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == sorted(
+            ["delta", "alpha", "echo", "bravo", "charlie"]
+        )
+
+    def test_min_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestRangeSearch:
+    def test_inclusive_range(self, loaded):
+        got = [k for k, _ in loaded.range_search(10, 15)]
+        assert got == [10, 11, 12, 13, 14, 15]
+
+    def test_exclusive_bounds(self, loaded):
+        got = [k for k, _ in loaded.range_search(10, 15, include_low=False,
+                                                 include_high=False)]
+        assert got == [11, 12, 13, 14]
+
+    def test_open_ended(self, loaded):
+        assert [k for k, _ in loaded.range_search(high=3)] == [0, 1, 2, 3]
+        assert [k for k, _ in loaded.range_search(low=297)] == [297, 298, 299]
+
+    def test_full_scan_sorted(self, loaded):
+        keys = list(loaded.keys())
+        assert keys == sorted(keys)
+        assert len(keys) == 300
+
+    def test_range_returns_postings(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        [(key, postings)] = list(tree.range_search(5, 5))
+        assert key == 5 and postings == {"a", "b"}
+
+
+class TestDelete:
+    def test_delete_posting(self, loaded):
+        assert loaded.delete(150, "pk150")
+        assert loaded.search(150) == set()
+        loaded.check_invariants()
+
+    def test_delete_absent_returns_false(self, loaded):
+        assert not loaded.delete(150, "nope")
+        assert not loaded.delete(98765, "pk")
+
+    def test_delete_one_of_many_postings(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        tree.delete("k", 1)
+        assert tree.search("k") == {2}
+
+    def test_mass_delete_then_reinsert(self, loaded):
+        for k in range(0, 300, 2):
+            assert loaded.delete(k, f"pk{k}")
+        loaded.check_invariants()
+        assert len(loaded) == 150
+        for k in range(0, 300, 2):
+            loaded.insert(k, f"pk{k}")
+        loaded.check_invariants()
+        assert len(loaded) == 300

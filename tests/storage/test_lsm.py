@@ -1,0 +1,185 @@
+"""LSM tree behaviour: writes, reads, flush/merge, WAL, observability."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.storage import LSMTree
+from repro.storage.memtable import TOMBSTONE
+
+
+class TestBasicOps:
+    def test_insert_get(self):
+        tree = LSMTree()
+        tree.insert(1, {"id": 1})
+        assert tree.get(1) == {"id": 1}
+
+    def test_get_absent_returns_none(self):
+        assert LSMTree().get(99) is None
+
+    def test_insert_duplicate_raises(self):
+        tree = LSMTree()
+        tree.insert(1, {"id": 1})
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, {"id": 1, "v": 2})
+
+    def test_upsert_replaces(self):
+        tree = LSMTree()
+        tree.upsert(1, {"v": "a"})
+        tree.upsert(1, {"v": "b"})
+        assert tree.get(1) == {"v": "b"}
+
+    def test_delete(self):
+        tree = LSMTree()
+        tree.insert(1, {"v": 1})
+        tree.delete(1)
+        assert tree.get(1) is None
+
+    def test_delete_absent_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            LSMTree().delete(1)
+
+    def test_len_counts_live_records(self):
+        tree = LSMTree(memtable_budget=4)
+        for i in range(10):
+            tree.upsert(i, {"i": i})
+        tree.delete(3)
+        assert len(tree) == 9
+
+    def test_contains(self):
+        tree = LSMTree()
+        tree.insert("k", 1)
+        assert tree.contains("k")
+        assert not tree.contains("x")
+
+    @pytest.mark.parametrize("budget", [0, -5])
+    def test_bad_budget_rejected(self, budget):
+        with pytest.raises(ValueError):
+            LSMTree(memtable_budget=budget)
+
+
+class TestFlushAndMerge:
+    def test_flush_on_budget(self):
+        tree = LSMTree(memtable_budget=4, merge_fanin=100)
+        for i in range(9):
+            tree.insert(i, i)
+        assert tree.stats.flushes == 2
+        assert tree.component_count == 2
+        for i in range(9):
+            assert tree.get(i) == i
+
+    def test_newer_component_shadows_older(self):
+        tree = LSMTree(memtable_budget=2, merge_fanin=100)
+        tree.upsert(1, "old")
+        tree.upsert(2, "x")  # triggers flush
+        tree.upsert(1, "new")
+        tree.upsert(3, "y")  # second flush
+        assert tree.get(1) == "new"
+
+    def test_tombstone_shadows_older_component(self):
+        tree = LSMTree(memtable_budget=2, merge_fanin=100)
+        tree.insert(1, "v")
+        tree.insert(2, "w")  # flush
+        tree.delete(1)
+        tree.insert(4, "z")  # flush tombstone
+        assert tree.get(1) is None
+        assert 1 not in dict(tree.scan())
+
+    def test_merge_policy_bounds_components(self):
+        tree = LSMTree(memtable_budget=2, merge_fanin=3)
+        for i in range(30):
+            tree.upsert(i, i)
+        assert tree.component_count < 3
+        assert tree.stats.merges >= 1
+        assert len(tree) == 30
+
+    def test_merge_drops_tombstones(self):
+        tree = LSMTree(memtable_budget=2, merge_fanin=2)
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        tree.delete(1)
+        tree.insert(3, "c")  # flush + merge
+        tree.flush()
+        tree.merge_all()
+        total_entries = sum(len(c) for c in tree._components)
+        assert total_entries == len(tree)
+
+    def test_explicit_flush_empty_is_noop(self):
+        tree = LSMTree()
+        tree.flush()
+        assert tree.stats.flushes == 0
+
+
+class TestScans:
+    def test_scan_sorted_and_deduplicated(self):
+        tree = LSMTree(memtable_budget=3, merge_fanin=100)
+        for i in [5, 3, 8, 1, 9, 3, 5]:
+            tree.upsert(i, f"v{i}")
+        keys = [k for k, _ in tree.scan()]
+        assert keys == sorted(set(keys))
+
+    def test_range_scan_bounds(self):
+        tree = LSMTree(memtable_budget=4)
+        for i in range(20):
+            tree.upsert(i, i)
+        assert [k for k, _ in tree.range_scan(5, 8)] == [5, 6, 7, 8]
+        assert [k for k, _ in tree.range_scan(5, 8, include_low=False)] == [6, 7, 8]
+        assert [k for k, _ in tree.range_scan(5, 8, include_high=False)] == [5, 6, 7]
+
+    def test_range_scan_open_ends(self):
+        tree = LSMTree()
+        for i in range(5):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range_scan(high=2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range_scan(low=3)] == [3, 4]
+
+    def test_scan_merges_memtable_and_components(self):
+        tree = LSMTree(memtable_budget=3, merge_fanin=100)
+        for i in range(7):
+            tree.upsert(i, "disk")
+        tree.upsert(1, "mem")
+        scanned = dict(tree.scan())
+        assert scanned[1] == "mem"
+        assert len(scanned) == 7
+
+
+class TestObservability:
+    def test_in_memory_component_activity(self):
+        tree = LSMTree(memtable_budget=100)
+        assert not tree.in_memory_component_active
+        tree.upsert(1, 1)
+        assert tree.in_memory_component_active
+        tree.flush()
+        assert not tree.in_memory_component_active
+
+    def test_read_amplification_grows_with_components(self):
+        tree = LSMTree(memtable_budget=2, merge_fanin=100)
+        base = tree.read_amplification
+        for i in range(8):
+            tree.upsert(i, i)
+        assert tree.read_amplification > base
+
+    def test_stats_counters(self):
+        tree = LSMTree()
+        tree.insert(1, 1)
+        tree.upsert(2, 2)
+        tree.delete(1)
+        tree.get(2)
+        stats = tree.stats.snapshot()
+        assert stats["inserts"] == 1
+        assert stats["upserts"] == 1
+        assert stats["deletes"] == 1
+        assert stats["wal_appends"] == 3
+
+
+class TestWalRecovery:
+    def test_replay_reconstructs_state(self):
+        tree = LSMTree(memtable_budget=3)
+        for i in range(10):
+            tree.upsert(i, {"v": i})
+        tree.delete(4)
+        tree.upsert(2, {"v": "updated"})
+        recovered = tree.recover_from_wal()
+        assert dict(recovered.scan()) == dict(tree.scan())
+
+    def test_replay_of_empty_tree(self):
+        assert dict(LSMTree().recover_from_wal().scan()) == {}

@@ -1,0 +1,149 @@
+"""Workload generators: determinism, sizes, field domains."""
+
+import json
+
+import pytest
+
+from repro.adm import Point, Rectangle, record_size_bytes
+from repro.workloads import PaperWorkload, TweetGenerator, WorkloadScale
+
+
+class TestTweetGenerator:
+    def test_deterministic_under_seed(self):
+        a = list(TweetGenerator(seed=1).records(20))
+        b = list(TweetGenerator(seed=1).records(20))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(TweetGenerator(seed=1).records(20))
+        b = list(TweetGenerator(seed=2).records(20))
+        assert a != b
+
+    def test_record_size_near_450_bytes(self):
+        sizes = [record_size_bytes(r) for r in TweetGenerator().records(50)]
+        assert all(430 <= s <= 500 for s in sizes), (min(sizes), max(sizes))
+
+    def test_ids_sequential(self):
+        ids = [r["id"] for r in TweetGenerator().records(10)]
+        assert ids == list(range(10))
+
+    def test_fields_present(self):
+        record = next(iter(TweetGenerator().records(1)))
+        for field in ("text", "country", "latitude", "longitude", "created_at"):
+            assert field in record
+        assert "screen_name" in record["user"]
+
+    def test_raw_json_parses(self):
+        for raw in TweetGenerator().raw_json(10):
+            record = json.loads(raw)
+            assert "id" in record
+
+    def test_country_domain(self):
+        gen = TweetGenerator(num_countries=10)
+        countries = {r["country"] for r in gen.records(200)}
+        assert countries <= {f"C{i:04d}" for i in range(10)}
+
+    def test_person_names_alphabetic(self):
+        gen = TweetGenerator()
+        for i in [0, 5, 12345]:
+            assert gen.person_name(i).isalpha()
+
+    def test_sensitive_fraction_controls_keywords(self):
+        gen = TweetGenerator(sensitive_fraction=0.0)
+        assert not any("bomb" in r["text"] for r in gen.records(100))
+
+
+class TestReferenceGenerators:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return PaperWorkload(
+            scale=WorkloadScale(reference_scale=0.001), num_partitions=2
+        )
+
+    def test_scaled_sizes(self, workload):
+        assert len(list(workload.safety_ratings())) == 500
+        assert len(list(workload.monuments())) == 500
+        assert len(list(workload.district_areas())) == 500
+
+    def test_floors_applied(self, workload):
+        assert len(list(workload.sensitive_names())) == 50
+        assert len(list(workload.attack_events())) == 50
+
+    def test_explicit_size_override(self, workload):
+        assert len(list(workload.safety_ratings(size=7))) == 7
+
+    def test_safety_rating_keys_unique(self, workload):
+        codes = [r["country_code"] for r in workload.safety_ratings()]
+        assert len(codes) == len(set(codes))
+
+    def test_country_domain_overlaps_tweets(self, workload):
+        tweet_countries = {
+            workload.tweet_generator.country(i) for i in range(200)
+        }
+        rating_codes = {r["country_code"] for r in workload.safety_ratings()}
+        assert tweet_countries <= rating_codes
+
+    def test_district_grid_tiles_world(self, workload):
+        districts = list(workload.district_areas())
+        point = Point(50.0, 50.0)
+        covering = [
+            d for d in districts if d["district_area"].contains_point(point)
+        ]
+        assert len(covering) >= 1
+
+    def test_average_incomes_one_per_district(self, workload):
+        districts = list(workload.district_areas())
+        incomes = list(workload.average_incomes())
+        assert {d["district_area_id"] for d in districts} == {
+            i["district_area_id"] for i in incomes
+        }
+
+    def test_generators_deterministic(self, workload):
+        again = PaperWorkload(
+            scale=WorkloadScale(reference_scale=0.001), num_partitions=2
+        )
+        assert list(workload.monuments()) == list(again.monuments())
+
+
+class TestCatalogBuilding:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return PaperWorkload(
+            scale=WorkloadScale(reference_scale=0.001), num_partitions=3
+        )
+
+    def test_build_requested_datasets_only(self, workload):
+        catalog = workload.build_catalog(["SafetyRatings", "monumentList"])
+        assert set(catalog) == {"SafetyRatings", "monumentList"}
+
+    def test_spatial_indexes_created(self, workload):
+        catalog = workload.build_catalog(["monumentList", "DistrictAreas"])
+        from repro.storage import IndexKind
+
+        assert catalog["monumentList"].index_on("monument_location", IndexKind.RTREE)
+        assert catalog["DistrictAreas"].index_on("district_area", IndexKind.RTREE)
+
+    def test_datasets_flushed_after_load(self, workload):
+        catalog = workload.build_catalog(["SafetyRatings"])
+        assert not catalog["SafetyRatings"].update_activity
+
+    def test_update_stream_overwrites_existing_keys(self, workload):
+        catalog = workload.build_catalog(["SafetyRatings"])
+        ds = catalog["SafetyRatings"]
+        stream = workload.update_stream("SafetyRatings")
+        before = len(ds)
+        for _ in range(10):
+            ds.upsert(next(stream))
+        assert len(ds) == before  # upserts, not inserts
+
+    def test_java_resources_reflect_current_data(self, workload):
+        catalog = workload.build_catalog(["SafetyRatings"])
+        resources = workload.java_resources(catalog)
+        provider = resources["safety_rating"]["safety_ratings"]
+        lines_before = provider()
+        record = next(iter(catalog["SafetyRatings"].scan()))
+        updated = dict(record)
+        updated["safety_rating"] = "changed!"
+        catalog["SafetyRatings"].upsert(updated)
+        lines_after = provider()
+        assert lines_before != lines_after
