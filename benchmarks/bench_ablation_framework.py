@@ -160,14 +160,23 @@ def test_ablation_holder_capacity(harness, benchmark, emit):
                 feed, GeneratorAdapter(raws)
             )
             assert report.records_stored == 2000  # never lose records
-            rows.append([capacity, report.throughput, report.stalls])
+            metrics = report.runtime
+            rows.append([
+                capacity, report.throughput, report.stalls,
+                metrics.layer("intake").blocked, metrics.holder_high_water,
+            ])
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(
         "ablation_holder_capacity",
         format_table(
             "Ablation §5.3 — intake partition-holder capacity (frames)",
-            ["capacity", "throughput", "stalls"],
+            ["capacity", "throughput", "stalls", "intake blocked (s)",
+             "high-water"],
             rows,
         ),
     )
+    # a capacity-1 holder must throttle the feed (real backpressure), not
+    # drop records; an ample holder never blocks the intake
+    assert rows[0][3] > 0.0 and rows[0][2] > 0
+    assert rows[-1][3] == 0.0 and rows[-1][2] == 0

@@ -15,7 +15,12 @@ from .harness import (
     format_table,
     scaled_batch_sizes,
 )
-from .reporting import ascii_bar_chart, ascii_line_chart, speedup_table
+from .reporting import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    layer_utilization_table,
+    speedup_table,
+)
 
 __all__ = [
     "BATCH_16X",
@@ -33,5 +38,6 @@ __all__ = [
     "env_scale",
     "env_tweets",
     "format_table",
+    "layer_utilization_table",
     "scaled_batch_sizes",
 ]

@@ -89,6 +89,35 @@ def ascii_line_chart(
     return "\n".join(lines)
 
 
+def layer_utilization_table(metrics) -> str:
+    """Render a :class:`~repro.runtime.RuntimeMetrics` per-layer summary.
+
+    One row per layer with busy/idle/blocked seconds and utilization over
+    the run's makespan, plus the holder high-water mark and stall count —
+    the quickest way to see which layer bottlenecks a feed.
+    """
+    if metrics is None:
+        return "(no runtime metrics)"
+    lines = [
+        f"{'layer':<12} {'busy (s)':>10} {'idle (s)':>10} "
+        f"{'blocked (s)':>12} {'utilized':>9}"
+    ]
+    for name in sorted(metrics.layers):
+        times = metrics.layers[name]
+        lines.append(
+            f"{name:<12} {times.busy:>10.4f} {times.idle:>10.4f} "
+            f"{times.blocked:>12.4f} "
+            f"{times.utilization(metrics.makespan_seconds):>8.0%}"
+        )
+    lines.append(
+        f"makespan {metrics.makespan_seconds:.4f}s, "
+        f"fill/drain {metrics.fill_drain_seconds:.4f}s, "
+        f"{metrics.stall_count} stall(s), "
+        f"holder high-water {metrics.holder_high_water} frame(s)"
+    )
+    return "\n".join(lines)
+
+
 def speedup_table(
     baseline: Dict[str, float], scaled: Dict[str, float], ideal: float
 ) -> str:

@@ -17,6 +17,7 @@ from ..hyracks.cost import CostModel, DEFAULT_COST_MODEL
 from ..hyracks.executor import JobResult, LocalJobRunner
 from ..hyracks.job import JobSpecification
 from ..hyracks.partition_holder import PartitionHolderManager
+from ..runtime import Clock, Runtime
 from .node import NodeController
 
 
@@ -44,6 +45,21 @@ class ClusterController:
         self._deployed: Dict[str, DeployedJob] = {}
         self._next_job_id = 0
         self.simulated_deploy_seconds = 0.0
+        self.active_runs: List[str] = []
+        self.runs_completed = 0
+
+    # --------------------------------------------------------- run lifecycle
+
+    def begin_run(self, run_name: str) -> None:
+        """Track a feed/pipeline run driven by the cluster's runtime."""
+        if run_name in self.active_runs:
+            raise HyracksError(f"run {run_name!r} is already active")
+        self.active_runs.append(run_name)
+
+    def finish_run(self, run_name: str) -> None:
+        if run_name in self.active_runs:
+            self.active_runs.remove(run_name)
+            self.runs_completed += 1
 
     @property
     def num_nodes(self) -> int:
@@ -111,10 +127,15 @@ class Cluster:
             raise ValueError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.clock = Clock()
         self.nodes = [NodeController(i, is_cc=(i == 0)) for i in range(num_nodes)]
-        self.runner = LocalJobRunner(num_nodes, self.cost_model)
+        self.runner = LocalJobRunner(num_nodes, self.cost_model, clock=self.clock)
         self.controller = ClusterController(self.nodes, self.runner)
         self.holder_manager = PartitionHolderManager()
+
+    def new_runtime(self, name: str) -> Runtime:
+        """A discrete-event runtime sharing the cluster's clock."""
+        return Runtime(clock=self.clock, name=name)
 
     def __repr__(self):
         return f"<Cluster {self.num_nodes} nodes>"

@@ -214,6 +214,16 @@ class AsterixLite:
     def feed_report(self, feed: str) -> Optional[FeedRunReport]:
         return self._feed(feed).last_report
 
+    def runtime_metrics(self, feed: str):
+        """The feed's last-run :class:`~repro.runtime.RuntimeMetrics`.
+
+        Per-layer busy/idle/blocked timelines, partition-holder high-water
+        marks, stall counts, and batch latencies — ``None`` before the
+        feed's first run.
+        """
+        report = self._feed(feed).last_report
+        return report.runtime if report is not None else None
+
     # ------------------------------------------------------------------- DML
 
     def insert(self, dataset: str, records: List[dict], upsert: bool = False) -> int:

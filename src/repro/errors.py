@@ -59,6 +59,15 @@ class PartitionHolderError(HyracksError):
     """Cross-job frame exchange failed (unknown holder id, closed holder)."""
 
 
+class SchedulingError(HyracksError):
+    """The discrete-event runtime was driven illegally (time ran backwards,
+    a process yielded a non-effect, a negative advance was requested)."""
+
+
+class DeadlockError(HyracksError):
+    """Every live runtime process is waiting on a signal nobody can fire."""
+
+
 class SqlppError(ReproError):
     """Base class for SQL++ front-end errors."""
 

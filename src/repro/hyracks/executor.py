@@ -13,7 +13,10 @@ parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..runtime.clock import Clock
 
 from ..errors import JobSpecificationError
 from .connectors import ConnectorRuntime, FanOutWriter
@@ -32,6 +35,9 @@ class JobResult:
     startup_seconds: float
     records_out: int = 0
     per_operator_busy: Dict[str, float] = field(default_factory=dict)
+    #: simulated timestamps on the cluster clock (equal when no clock is wired)
+    sim_started_at: float = 0.0
+    sim_finished_at: float = 0.0
 
     @property
     def critical_node_seconds(self) -> float:
@@ -71,11 +77,17 @@ class LocalJobRunner:
     operators can coordinate through ``shared_state``.
     """
 
-    def __init__(self, num_nodes: int, cost_model: Optional[CostModel] = None):
+    def __init__(
+        self,
+        num_nodes: int,
+        cost_model: Optional[CostModel] = None,
+        clock: Optional["Clock"] = None,
+    ):
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.clock = clock  # cluster clock; stamps JobResult sim timestamps
         self.shared_state: Dict[object, object] = {}
         self.current_job_name = ""
         self.jobs_executed = 0
@@ -209,6 +221,7 @@ class LocalJobRunner:
             + max(node_busy.values())
             + self.cost_model.job_teardown(self.num_nodes)
         )
+        sim_now = self.clock.now if self.clock is not None else 0.0
         return JobResult(
             job_name=spec.name,
             makespan_seconds=makespan,
@@ -216,4 +229,6 @@ class LocalJobRunner:
             startup_seconds=startup,
             records_out=records_out,
             per_operator_busy=per_operator_busy,
+            sim_started_at=sim_now,
+            sim_finished_at=sim_now + makespan,
         )

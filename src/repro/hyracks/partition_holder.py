@@ -39,6 +39,7 @@ class PassivePartitionHolder:
         self.rejected = 0  # backpressure events
         self.pulled_records = 0
         self.high_water = 0
+        self.blocked_seconds = 0.0  # producer time stalled on this holder
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -72,6 +73,12 @@ class PassivePartitionHolder:
     def end(self) -> None:
         """Mark EOF: no more frames will be offered (the feed stopped)."""
         self._eof = True
+
+    def note_blocked(self, seconds: float) -> None:
+        """Charge simulated time a producer spent blocked on this holder."""
+        if seconds < 0:
+            raise ValueError("blocked time cannot be negative")
+        self.blocked_seconds += seconds
 
     def poll_batch(self, max_records: int) -> List[dict]:
         """Pull up to ``max_records`` records, preserving FIFO order.

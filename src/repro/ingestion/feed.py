@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.metrics import RuntimeMetrics
 
 
 class Framework(enum.Enum):
@@ -51,6 +54,7 @@ class FeedDefinition:
     write_mode: str = "upsert"
     stream_memory_budget: int = 1 << 20  # records; Model 3 spill threshold
     reference_work_scale: float = 1.0  # charge ref work as if x larger
+    storage_queue_capacity: int = 8  # computing->storage work items in flight
 
 
 @dataclass
@@ -81,6 +85,9 @@ class FeedRunReport:
     stalls: int = 0  # intake backpressure events
     fixed_start_seconds: float = 0.0  # one-time feed start cost (amortized)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: per-layer busy/idle/blocked timelines, holder high-water marks,
+    #: stall counts, and batch latencies from the discrete-event runtime
+    runtime: Optional["RuntimeMetrics"] = None
 
     @property
     def throughput(self) -> float:
@@ -108,7 +115,14 @@ class FeedRunReport:
 
     @property
     def refresh_rate(self) -> float:
-        """Computing jobs per simulated second (§7.1's metric)."""
-        if self.simulated_seconds <= 0:
+        """Computing jobs per steady-state simulated second (§7.1's metric).
+
+        Uses the same convention as ``throughput``: the one-time feed
+        start cost (``fixed_start_seconds``) is excluded from the
+        denominator, so both metrics describe the same steady-state
+        regime.
+        """
+        seconds = self.simulated_seconds - self.fixed_start_seconds
+        if seconds <= 0:
             return 0.0
-        return self.num_computing_jobs / self.simulated_seconds
+        return self.num_computing_jobs / seconds

@@ -1,0 +1,51 @@
+"""A deterministic discrete-event feed runtime.
+
+The paper's ingestion framework is three *concurrent* jobs — intake,
+computing, storage — handing frames across job boundaries through bounded
+partition holders.  This package provides the execution substrate that
+makes that concurrency explicit instead of reconstructing it with
+closed-form arithmetic:
+
+* :class:`Clock` — the simulated clock (owned by the cluster);
+* :class:`Runtime` — a heap-based discrete-event scheduler driving
+  cooperatively-scheduled generator :class:`Process`\\ es;
+* :class:`Advance` / :class:`Wait` — the effects a process yields to
+  consume simulated time or block on a :class:`Signal`;
+* :class:`Channel` / :class:`IntakeBuffer` — bounded hand-off points
+  (the intake buffer is layered on the existing passive partition
+  holders) with *real* blocking backpressure;
+* :class:`RuntimeMetrics` — the observability snapshot: per-layer
+  busy/idle/blocked timelines, holder high-water marks, stall counts,
+  and batch-latency histograms.
+"""
+
+from .channel import Channel, IntakeBuffer
+from .clock import Clock
+from .kernel import (
+    BLOCKED,
+    BUSY,
+    IDLE,
+    Advance,
+    Process,
+    Runtime,
+    Signal,
+    Wait,
+)
+from .metrics import HolderStats, LayerTimes, RuntimeMetrics
+
+__all__ = [
+    "Advance",
+    "BLOCKED",
+    "BUSY",
+    "Channel",
+    "Clock",
+    "HolderStats",
+    "IDLE",
+    "IntakeBuffer",
+    "LayerTimes",
+    "Process",
+    "Runtime",
+    "RuntimeMetrics",
+    "Signal",
+    "Wait",
+]

@@ -1,0 +1,185 @@
+"""Bounded hand-off points between runtime processes.
+
+Two flavors:
+
+* :class:`Channel` — a generic bounded FIFO of work items (used for the
+  computing→storage hand-off: one item per stored batch);
+* :class:`IntakeBuffer` — the intake→computing hand-off, layered directly
+  on the feed's :class:`~repro.hyracks.partition_holder.PassivePartitionHolder`
+  set.  ``put`` *blocks* (accounted as backpressure) when the target
+  holder is full — the force-append escape hatch the sequential driver
+  used is gone — and ``collect`` assembles balanced batches, waking when
+  data arrives, the feed ends, or the producer is stalled and the buffer
+  must be drained to make progress.
+
+Both are coroutine-style: ``put``/``get``/``collect`` are generators that
+must be driven with ``yield from`` inside a runtime process.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from ..errors import PartitionHolderError
+from ..hyracks.frame import Frame
+from ..hyracks.partition_holder import PassivePartitionHolder
+from .kernel import BLOCKED, IDLE, Runtime, Wait
+
+
+class Channel:
+    """A bounded FIFO of items with blocking put and EOF semantics."""
+
+    def __init__(self, runtime: Runtime, capacity: int, name: str = "channel"):
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.runtime = runtime
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[object] = deque()
+        self._eof = False
+        self._not_full = runtime.signal(f"{name}.not_full")
+        self._not_empty = runtime.signal(f"{name}.not_empty")
+        self.stalls = 0  # producer block events (backpressure)
+        self.high_water = 0
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def eof(self) -> bool:
+        return self._eof
+
+    def put(self, item):
+        """Coroutine: enqueue ``item``, blocking while the channel is full."""
+        if self._eof:
+            raise PartitionHolderError(f"channel {self.name} is closed")
+        stalled = False
+        while len(self._items) >= self.capacity:
+            if not stalled:
+                self.stalls += 1
+                stalled = True
+            yield Wait(self._not_full, state=BLOCKED)
+        self._items.append(item)
+        self.put_count += 1
+        self.high_water = max(self.high_water, len(self._items))
+        self._not_empty.notify_all()
+
+    def get(self):
+        """Coroutine: dequeue one item; returns ``None`` once drained at EOF."""
+        while not self._items:
+            if self._eof:
+                return None
+            yield Wait(self._not_empty, state=IDLE)
+        item = self._items.popleft()
+        self._not_full.notify_all()
+        return item
+
+    def end(self) -> None:
+        self._eof = True
+        self._not_empty.notify_all()
+
+
+class IntakeBuffer:
+    """The intake→computing hand-off over the feed's passive holders.
+
+    One buffer spans the feed's ``n`` intake partition holders (holder
+    ``p`` lives on node ``p``); the producer targets a specific holder and
+    the consumer collects record batches balanced across all of them.
+    """
+
+    def __init__(self, runtime: Runtime, holders: Sequence[PassivePartitionHolder]):
+        self.runtime = runtime
+        self.holders = list(holders)
+        self._data_ready = runtime.signal("intake.data_ready")
+        self._space_freed = runtime.signal("intake.space_freed")
+        self.stalls = 0  # distinct producer block events
+        self.producer_blocked = False
+
+    # --------------------------------------------------------------- producer
+
+    def put(self, target: int, frame: Frame):
+        """Coroutine: offer ``frame`` to holder ``target``, blocking when full.
+
+        Every failed offer is metered by the holder (``rejected``); the
+        block duration is charged to the holder's ``blocked_seconds``.
+        """
+        holder = self.holders[target]
+        stalled_at: Optional[float] = None
+        while not holder.offer(frame):
+            if stalled_at is None:
+                self.stalls += 1
+                stalled_at = self.runtime.clock.now
+            self.producer_blocked = True
+            yield Wait(self._space_freed, state=BLOCKED)
+        if stalled_at is not None:
+            holder.note_blocked(self.runtime.clock.now - stalled_at)
+        self.producer_blocked = False
+        self._data_ready.notify_all()
+
+    def end(self) -> None:
+        for holder in self.holders:
+            holder.end()
+        self._data_ready.notify_all()
+
+    # --------------------------------------------------------------- consumer
+
+    @property
+    def queued_records(self) -> int:
+        return sum(holder.queued_records for holder in self.holders)
+
+    @property
+    def all_eof(self) -> bool:
+        return all(holder.eof for holder in self.holders)
+
+    @property
+    def drained(self) -> bool:
+        return all(holder.drained for holder in self.holders)
+
+    def collect(self, batch_size: int):
+        """Coroutine: assemble one batch of up to ``batch_size`` records.
+
+        Returns per-partition record lists, or ``None`` once the buffer is
+        fully drained after EOF.  A batch forms when enough records are
+        queued, when the feed ended (partial final batch), or when the
+        producer is blocked on a full holder — draining then is what
+        relieves the backpressure, so a bounded buffer smaller than a
+        batch cannot deadlock the feed.
+        """
+        while True:
+            queued = self.queued_records
+            if queued >= batch_size:
+                break
+            if self.all_eof:
+                if queued == 0:
+                    return None
+                break
+            if queued > 0 and self.producer_blocked:
+                break
+            yield Wait(self._data_ready, state=IDLE)
+        take = min(batch_size, self.queued_records)
+        pulled = self._pull_balanced(take)
+        self._space_freed.notify_all()
+        return pulled
+
+    def _pull_balanced(self, take: int) -> List[List[dict]]:
+        """Pull ``take`` records, balanced across partitions, FIFO per holder."""
+        n = len(self.holders)
+        share = max(1, math.ceil(take / n))
+        pulled: List[List[dict]] = []
+        remaining = take
+        for holder in self.holders:
+            got = holder.poll_batch(min(share, remaining))
+            pulled.append(got)
+            remaining -= len(got)
+        # Top up from any partition with leftovers if we fell short.
+        if remaining > 0:
+            for p, holder in enumerate(self.holders):
+                if remaining <= 0:
+                    break
+                extra = holder.poll_batch(remaining)
+                pulled[p].extend(extra)
+                remaining -= len(extra)
+        return pulled

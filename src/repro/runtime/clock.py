@@ -1,0 +1,40 @@
+"""The simulated clock.
+
+One :class:`Clock` is owned by the cluster and shared by every runtime,
+job runner, and metrics snapshot, so all simulated timestamps live on a
+single monotonic axis.  Only the scheduler advances it; processes consume
+time by yielding :class:`~repro.runtime.kernel.Advance` effects.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+
+#: tolerance for floating-point comparisons on the simulated time axis
+TIME_EPSILON = 1e-12
+
+
+class Clock:
+    """A monotonic simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp`` (scheduler-only).
+
+        Moving backwards is a scheduling bug, not a recoverable state.
+        """
+        if timestamp < self._now - TIME_EPSILON:
+            raise SchedulingError(
+                f"clock cannot run backwards: at {self._now!r}, "
+                f"asked to advance to {timestamp!r}"
+            )
+        self._now = max(self._now, timestamp)
+
+    def __repr__(self):
+        return f"<Clock t={self._now:.6f}>"

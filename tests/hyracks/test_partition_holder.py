@@ -78,6 +78,30 @@ class TestPassiveHolder:
         holder.offer(Frame([{}]))
         assert holder.queued_records == 3
 
+    def test_rejected_counts_every_failed_offer(self):
+        holder = PassivePartitionHolder("h", 0, capacity_frames=1)
+        holder.offer(Frame([{}]))
+        for _ in range(3):
+            assert not holder.offer(Frame([{}]))
+        assert holder.rejected == 3
+        assert holder.offered == 1
+
+    def test_blocked_time_metered(self):
+        holder = PassivePartitionHolder("h", 0)
+        holder.note_blocked(0.25)
+        holder.note_blocked(0.5)
+        assert holder.blocked_seconds == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            holder.note_blocked(-1.0)
+
+    def test_poll_batch_splits_across_frames_fifo(self):
+        holder = PassivePartitionHolder("h", 0)
+        holder.offer(Frame([{"id": 0}, {"id": 1}, {"id": 2}]))
+        holder.offer(Frame([{"id": 3}, {"id": 4}]))
+        assert [r["id"] for r in holder.poll_batch(4)] == [0, 1, 2, 3]
+        assert [r["id"] for r in holder.poll_batch(4)] == [4]
+        assert holder.pulled_records == 5
+
 
 class _Recorder:
     def __init__(self):

@@ -53,3 +53,27 @@ class TestRefreshMetrics:
     def test_refresh_rate_zero_duration(self):
         report = make_report(simulated_seconds=0.0, num_computing_jobs=5)
         assert report.refresh_rate == 0.0
+
+    def test_refresh_rate_excludes_fixed_start(self):
+        report = make_report(
+            simulated_seconds=12.0, fixed_start_seconds=2.0, num_computing_jobs=5
+        )
+        assert report.refresh_rate == pytest.approx(0.5)
+
+    def test_throughput_and_refresh_rate_share_denominator(self):
+        """Both rates use steady-state seconds (sim minus fixed start)."""
+        report = make_report(
+            simulated_seconds=12.0,
+            fixed_start_seconds=2.0,
+            records_stored=1000,
+            num_computing_jobs=5,
+        )
+        steady = report.simulated_seconds - report.fixed_start_seconds
+        assert report.throughput == pytest.approx(1000 / steady)
+        assert report.refresh_rate == pytest.approx(5 / steady)
+
+    def test_refresh_rate_fixed_start_exceeding_duration_guarded(self):
+        report = make_report(
+            simulated_seconds=1.0, fixed_start_seconds=5.0, num_computing_jobs=5
+        )
+        assert report.refresh_rate == 0.0

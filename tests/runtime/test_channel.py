@@ -1,0 +1,203 @@
+"""Bounded channels and the intake buffer: blocking, EOF, drain rules."""
+
+import pytest
+
+from repro.errors import PartitionHolderError
+from repro.hyracks import Frame, PassivePartitionHolder
+from repro.runtime import Advance, Channel, IntakeBuffer, Runtime
+
+
+class TestChannel:
+    def test_put_get_fifo(self):
+        runtime = Runtime()
+        channel = Channel(runtime, capacity=4)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield from channel.put(i)
+            channel.end()
+
+        def consumer():
+            while True:
+                item = yield from channel.get()
+                if item is None:
+                    break
+                got.append(item)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert got == [0, 1, 2]
+
+    def test_put_blocks_when_full(self):
+        runtime = Runtime()
+        channel = Channel(runtime, capacity=1)
+        drained_at = []
+
+        def producer():
+            yield from channel.put("a")
+            yield from channel.put("b")  # blocks until the consumer drains
+            channel.end()
+
+        def consumer():
+            yield Advance(5.0)
+            while True:
+                item = yield from channel.get()
+                if item is None:
+                    break
+                drained_at.append((item, runtime.clock.now))
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert channel.stalls == 1
+        assert channel.high_water == 1
+        assert [item for item, _ in drained_at] == ["a", "b"]
+
+    def test_get_returns_none_at_eof(self):
+        runtime = Runtime()
+        channel = Channel(runtime, capacity=2)
+        results = []
+
+        def consumer():
+            results.append((yield from channel.get()))
+
+        channel.end()
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert results == [None]
+
+    def test_put_after_end_raises(self):
+        runtime = Runtime()
+        channel = Channel(runtime, capacity=2)
+        channel.end()
+
+        def producer():
+            yield from channel.put("x")
+
+        runtime.spawn("p", producer())
+        with pytest.raises(PartitionHolderError):
+            runtime.run()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Channel(Runtime(), capacity=0)
+
+
+def make_buffer(runtime, partitions=2, capacity_frames=2):
+    holders = [
+        PassivePartitionHolder("intake-test", p, capacity_frames)
+        for p in range(partitions)
+    ]
+    return IntakeBuffer(runtime, holders), holders
+
+
+class TestIntakeBuffer:
+    def test_put_blocks_and_meters_backpressure(self):
+        runtime = Runtime()
+        buffer, holders = make_buffer(runtime, partitions=1, capacity_frames=1)
+        batches = []
+
+        def producer():
+            yield from buffer.put(0, Frame([{"id": 0}]))
+            yield from buffer.put(0, Frame([{"id": 1}]))  # holder full: blocks
+            buffer.end()
+
+        def consumer():
+            yield Advance(2.0)  # producer is stuck for these 2 seconds
+            while True:
+                batch = yield from buffer.collect(batch_size=4)
+                if batch is None:
+                    break
+                batches.append(batch)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert buffer.stalls == 1
+        assert holders[0].rejected >= 1
+        assert holders[0].blocked_seconds == pytest.approx(2.0)
+        assert sum(len(p) for batch in batches for p in batch) == 2
+
+    def test_collect_balances_across_partitions(self):
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime, partitions=2, capacity_frames=8)
+        batches = []
+
+        def producer():
+            for i in range(8):
+                yield from buffer.put(i % 2, Frame([{"id": i}]))
+            buffer.end()
+
+        def consumer():
+            while True:
+                batch = yield from buffer.collect(batch_size=8)
+                if batch is None:
+                    break
+                batches.append(batch)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert len(batches) == 1
+        assert [len(p) for p in batches[0]] == [4, 4]
+
+    def test_smaller_buffer_than_batch_drains_not_deadlocks(self):
+        """A bounded buffer below batch size must throttle, not deadlock."""
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime, partitions=1, capacity_frames=1)
+        collected = []
+
+        def producer():
+            for i in range(6):
+                yield from buffer.put(0, Frame([{"id": i}]))
+            buffer.end()
+
+        def consumer():
+            while True:
+                batch = yield from buffer.collect(batch_size=100)
+                if batch is None:
+                    break
+                collected.extend(r["id"] for p in batch for r in p)
+                yield Advance(1.0)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()  # would raise DeadlockError if the drain rule failed
+        assert collected == list(range(6))
+
+    def test_partial_final_batch_after_eof(self):
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime, partitions=2, capacity_frames=8)
+        sizes = []
+
+        def producer():
+            for i in range(5):
+                yield from buffer.put(i % 2, Frame([{"id": i}]))
+            buffer.end()
+
+        def consumer():
+            while True:
+                batch = yield from buffer.collect(batch_size=4)
+                if batch is None:
+                    break
+                sizes.append(sum(len(p) for p in batch))
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert sizes == [4, 1]
+
+    def test_collect_on_empty_ended_buffer_returns_none(self):
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime)
+        results = []
+
+        def consumer():
+            results.append((yield from buffer.collect(batch_size=4)))
+
+        buffer.end()
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert results == [None]

@@ -1,0 +1,189 @@
+"""The discrete-event kernel: scheduling order, accounting, deadlocks."""
+
+import pytest
+
+from repro.errors import DeadlockError, SchedulingError
+from repro.runtime import (
+    BLOCKED,
+    BUSY,
+    IDLE,
+    Advance,
+    Clock,
+    Runtime,
+    Wait,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advances_forward(self):
+        clock = Clock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_cannot_run_backwards(self):
+        clock = Clock(start=2.0)
+        with pytest.raises(SchedulingError):
+            clock.advance_to(1.0)
+
+
+class TestEffects:
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SchedulingError):
+            Advance(-0.1)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(SchedulingError):
+            Advance(1.0, state="sleeping")
+
+    def test_non_effect_yield_rejected(self):
+        runtime = Runtime()
+
+        def bad():
+            yield "not an effect"
+
+        runtime.spawn("bad", bad())
+        with pytest.raises(SchedulingError, match="expected Advance or Wait"):
+            runtime.run()
+
+
+class TestScheduling:
+    def test_single_process_elapsed(self):
+        runtime = Runtime()
+
+        def work():
+            yield Advance(1.0)
+            yield Advance(2.0)
+
+        runtime.spawn("w", work())
+        assert runtime.run() == pytest.approx(3.0)
+
+    def test_concurrent_processes_overlap(self):
+        runtime = Runtime()
+
+        def worker(seconds):
+            yield Advance(seconds)
+
+        runtime.spawn("fast", worker(1.0))
+        runtime.spawn("slow", worker(5.0))
+        assert runtime.run() == pytest.approx(5.0)
+
+    def test_same_time_ties_run_fifo(self):
+        runtime = Runtime()
+        order = []
+
+        def step(name):
+            order.append(f"{name}:a")
+            yield Advance(1.0)
+            order.append(f"{name}:b")
+
+        runtime.spawn("first", step("first"))
+        runtime.spawn("second", step("second"))
+        runtime.run()
+        assert order == ["first:a", "second:a", "first:b", "second:b"]
+
+    def test_signal_wakes_waiter_at_notify_time(self):
+        runtime = Runtime()
+        ready = runtime.signal("ready")
+        seen = []
+
+        def producer():
+            yield Advance(2.0)
+            ready.notify_all()
+
+        def consumer():
+            yield Wait(ready)
+            seen.append(runtime.clock.now)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert seen == [2.0]
+
+    def test_busy_idle_blocked_accounted(self):
+        runtime = Runtime()
+        ready = runtime.signal("ready")
+
+        def producer():
+            yield Advance(3.0)
+            ready.notify_all()
+
+        def consumer():
+            yield Wait(ready, state=BLOCKED)
+            yield Advance(1.0)
+
+        runtime.spawn("p", producer())
+        consumer_proc = runtime.spawn("c", consumer())
+        runtime.run()
+        assert consumer_proc.totals[BLOCKED] == pytest.approx(3.0)
+        assert consumer_proc.totals[BUSY] == pytest.approx(1.0)
+        assert consumer_proc.totals[IDLE] == 0.0
+
+    def test_timeline_merges_adjacent_same_state(self):
+        runtime = Runtime()
+
+        def work():
+            yield Advance(1.0)
+            yield Advance(1.0)
+            yield Advance(2.0, state=IDLE)
+
+        process = runtime.spawn("w", work())
+        runtime.run()
+        assert process.timeline == [(BUSY, 0.0, 2.0), (IDLE, 2.0, 4.0)]
+
+    def test_deadlock_detected_and_named(self):
+        runtime = Runtime()
+        never = runtime.signal("never")
+
+        def stuck():
+            yield Wait(never)
+
+        runtime.spawn("stuck-one", stuck())
+        with pytest.raises(DeadlockError, match="stuck-one"):
+            runtime.run()
+
+    def test_process_exception_propagates(self):
+        runtime = Runtime()
+
+        def boom():
+            yield Advance(1.0)
+            raise RuntimeError("kaboom")
+
+        runtime.spawn("b", boom())
+        with pytest.raises(RuntimeError, match="kaboom"):
+            runtime.run()
+
+    def test_shared_clock_offsets_epoch(self):
+        clock = Clock()
+        first = Runtime(clock)
+
+        def work():
+            yield Advance(2.0)
+
+        first.spawn("w", work())
+        assert first.run() == pytest.approx(2.0)
+        second = Runtime(clock)
+        second.spawn("w", work())
+        # elapsed is relative to each runtime's epoch on the shared axis
+        assert second.run() == pytest.approx(2.0)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_side_effect_order_is_deterministic(self):
+        def run_once():
+            runtime = Runtime()
+            order = []
+
+            def worker(name, seconds):
+                for step in range(3):
+                    order.append((name, step, runtime.clock.now))
+                    yield Advance(seconds)
+
+            runtime.spawn("a", worker("a", 0.7))
+            runtime.spawn("b", worker("b", 1.1))
+            runtime.spawn("c", worker("c", 0.7))
+            runtime.run()
+            return order
+
+        assert run_once() == run_once()

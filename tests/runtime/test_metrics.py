@@ -1,0 +1,150 @@
+"""RuntimeMetrics assembly: layer aggregation, holder stats, histograms."""
+
+import pytest
+
+from repro.hyracks import ActivePartitionHolder, Frame, PassivePartitionHolder
+from repro.runtime import (
+    BLOCKED,
+    BUSY,
+    IDLE,
+    Advance,
+    LayerTimes,
+    Runtime,
+    RuntimeMetrics,
+    Wait,
+)
+
+
+class _Sink:
+    def open(self):
+        pass
+
+    def next_frame(self, frame):
+        pass
+
+    def close(self):
+        pass
+
+
+def run_two_layer_runtime():
+    """Two intake processes plus one computing process, known totals."""
+    runtime = Runtime()
+    done = runtime.signal("done")
+
+    def intake(seconds):
+        yield Advance(seconds)
+        yield Advance(1.0, state=IDLE)
+
+    def computing():
+        yield Wait(done, state=BLOCKED)
+
+    runtime.spawn("intake-0", intake(2.0), layer="intake")
+    runtime.spawn("intake-1", intake(3.0), layer="intake")
+
+    def finisher():
+        yield Advance(4.0)
+        done.notify_all()
+
+    runtime.spawn("computing-0", computing(), layer="computing")
+    runtime.spawn("finisher", finisher(), layer="computing")
+    runtime.run()
+    return runtime
+
+
+class TestFromRuntime:
+    def test_layers_aggregate_across_processes(self):
+        runtime = run_two_layer_runtime()
+        metrics = RuntimeMetrics.from_runtime(runtime)
+        intake = metrics.layer("intake")
+        assert intake.busy == pytest.approx(5.0)  # 2.0 + 3.0
+        assert intake.idle == pytest.approx(2.0)  # 1.0 + 1.0
+        computing = metrics.layer("computing")
+        assert computing.blocked == pytest.approx(4.0)
+        assert computing.busy == pytest.approx(4.0)  # the finisher
+
+    def test_per_process_totals_and_timelines_kept(self):
+        runtime = run_two_layer_runtime()
+        metrics = RuntimeMetrics.from_runtime(runtime)
+        assert metrics.processes["intake-0"].busy == pytest.approx(2.0)
+        assert metrics.timelines["intake-0"] == [
+            (BUSY, 0.0, 2.0),
+            (IDLE, 2.0, 3.0),
+        ]
+        assert metrics.timelines["computing-0"][0][0] == BLOCKED
+
+    def test_makespan_and_fill_drain(self):
+        runtime = run_two_layer_runtime()
+        metrics = RuntimeMetrics.from_runtime(runtime, steady_state_seconds=3.0)
+        assert metrics.makespan_seconds == pytest.approx(4.0)
+        assert metrics.fill_drain_seconds == pytest.approx(1.0)
+
+    def test_unknown_layer_is_zeroed(self):
+        metrics = RuntimeMetrics.from_runtime(run_two_layer_runtime())
+        missing = metrics.layer("storage")
+        assert (missing.busy, missing.idle, missing.blocked) == (0.0, 0.0, 0.0)
+
+    def test_holder_stats_captured(self):
+        passive = PassivePartitionHolder("intake-x", 0, capacity_frames=1)
+        passive.offer(Frame([{}]))
+        passive.offer(Frame([{}]))  # rejected
+        passive.note_blocked(0.5)
+        active = ActivePartitionHolder("storage-x", 1, _Sink())
+        active.push(Frame([{}, {}]))
+        metrics = RuntimeMetrics.from_runtime(
+            Runtime(), holders=[passive, active]
+        )
+        by_id = {h.holder_id: h for h in metrics.holders}
+        assert by_id["intake-x"].kind == "passive"
+        assert by_id["intake-x"].high_water == 1
+        assert by_id["intake-x"].rejected == 1
+        assert by_id["intake-x"].blocked_seconds == pytest.approx(0.5)
+        assert by_id["storage-x"].kind == "active"
+        assert by_id["storage-x"].received == 2
+        assert metrics.holder_high_water == 1
+        assert metrics.total_rejected_offers == 1
+
+
+class TestLayerTimes:
+    def test_total_and_utilization(self):
+        times = LayerTimes(busy=3.0, idle=1.0, blocked=2.0)
+        assert times.total == pytest.approx(6.0)
+        assert times.utilization(10.0) == pytest.approx(0.3)
+        assert times.utilization(0.0) == 0.0
+
+
+class TestLatencyHistogram:
+    def make(self, latencies):
+        return RuntimeMetrics(
+            makespan_seconds=1.0,
+            fill_drain_seconds=0.0,
+            batch_latencies_seconds=latencies,
+        )
+
+    def test_empty_latencies_empty_histogram(self):
+        assert self.make([]).latency_histogram() == []
+
+    def test_linear_bins_cover_range(self):
+        hist = self.make([0.5, 1.5, 2.5, 3.5]).latency_histogram(bins=4)
+        assert [upper for upper, _ in hist] == [0.875, 1.75, 2.625, 3.5]
+        assert sum(count for _, count in hist) == 4
+        assert hist[-1][1] == 1  # the max lands in the last bin
+
+    def test_all_zero_latencies_collapse(self):
+        assert self.make([0.0, 0.0]).latency_histogram() == [(0.0, 2)]
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            self.make([1.0]).latency_histogram(bins=0)
+
+    def test_deterministic(self):
+        metrics = self.make([0.2, 0.4, 0.4, 0.9])
+        assert metrics.latency_histogram() == metrics.latency_histogram()
+
+
+class TestDescribe:
+    def test_mentions_every_layer(self):
+        metrics = RuntimeMetrics.from_runtime(run_two_layer_runtime())
+        text = metrics.describe()
+        assert "intake" in text
+        assert "computing" in text
+        assert "stall" in text
