@@ -1,0 +1,71 @@
+"""Wall-clock records/sec: interpreted vs. planned evaluation.
+
+Unlike the fig* benchmarks (deterministic simulated cost), this harness
+measures real elapsed time, so its output goes to ``BENCH_wallclock.json``
+at the repo root rather than ``benchmarks/results/``.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py            # full run
+    python benchmarks/bench_wallclock.py --smoke    # quick CI run
+
+Exits non-zero if planned evaluation is slower than interpreted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI (fewer records and repeats)",
+    )
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_wallclock.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = args.records or (300 if args.smoke else 1500)
+    repeats = args.repeats or (2 if args.smoke else 3)
+
+    from repro.bench.wallclock import run_wallclock
+
+    result = run_wallclock(records=records, repeats=repeats)
+    result["mode"] = "smoke" if args.smoke else "full"
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    aggregate = result["aggregate"]
+    print(f"wrote {args.output}")
+    for key, case in result["cases"].items():
+        print(
+            f"  {key:24s} interpreted {case['interpreted_records_per_sec']:8.0f} rec/s"
+            f"  planned {case['planned_records_per_sec']:8.0f} rec/s"
+            f"  ({case['speedup']:.2f}x)"
+        )
+    print(
+        f"  {'aggregate':24s} interpreted {aggregate['interpreted_records_per_sec']:8.0f} rec/s"
+        f"  planned {aggregate['planned_records_per_sec']:8.0f} rec/s"
+        f"  ({aggregate['speedup']:.2f}x)"
+    )
+    if aggregate["speedup"] < 1.0:
+        print("FAIL: planned evaluation is slower than interpreted", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

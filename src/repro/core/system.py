@@ -118,6 +118,7 @@ class AsterixLite:
             num_partitions=num_partitions or self.default_partitions,
         )
         self.catalog[name] = dataset
+        self.registry.invalidate_plans()
         return dataset
 
     def create_index(
@@ -126,6 +127,15 @@ class AsterixLite:
         self._dataset(dataset).create_index(
             name, field, IndexKind.RTREE if kind == "rtree" else IndexKind.BTREE
         )
+        self.registry.invalidate_plans()
+
+    def drop_index(self, dataset: str, name: str) -> None:
+        self._dataset(dataset).drop_index(name)
+        self.registry.invalidate_plans()
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Plan-cache counters: plans, hits, misses, invalidations."""
+        return self.registry.plan_cache.stats()
 
     def create_function(self, source_or_definition) -> None:
         self.registry.register_sqlpp(source_or_definition)
@@ -320,6 +330,7 @@ class AsterixLite:
             raise SqlppAnalysisError(f"dataset {dataset.name!r} already exists")
         self.catalog[dataset.name] = dataset
         self.types.setdefault(dataset.datatype.name, dataset.datatype)
+        self.registry.invalidate_plans()
         return dataset
 
     def explain(self, text_or_ast) -> str:

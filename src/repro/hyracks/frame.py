@@ -49,6 +49,8 @@ def frames_of(
 class FrameWriter:
     """Receiver protocol for pushed frames (the Hyracks IFrameWriter)."""
 
+    __slots__ = ()
+
     def open(self) -> None:
         """Prepare to receive frames."""
 

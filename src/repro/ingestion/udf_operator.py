@@ -15,19 +15,36 @@ def make_invoker(functions, registry) -> Callable:
 
     Chains the feed's attached functions; a SQL++ UDF returning a
     collection is unnested (the ``SELECT VALUE f(t)`` of Figure 10).
+
+    Each attached SQL++ function is resolved through a *prepared* invoker
+    (the §5.2 predeployed-job analog): name lookup and arity checking
+    happen once per registry version instead of once per record, while a
+    ``replace_sqlpp`` mid-feed still takes effect on the very next call.
     """
+
+    steps = []
+    for fn in functions:
+        if fn.is_java:
+            library = fn.library or "udflib"
+
+            def java_step(rec, eval_ctx, _library=library, _name=fn.name):
+                return registry.invoke_java(_library, _name, [rec], eval_ctx)
+
+            steps.append(java_step)
+        else:
+            prepared = registry.prepared_invoker(fn.name)
+
+            def sqlpp_step(rec, eval_ctx, _prepared=prepared):
+                return _prepared([rec], eval_ctx)
+
+            steps.append(sqlpp_step)
 
     def invoke(record: dict, eval_ctx: EvaluationContext) -> List[dict]:
         current = [record]
-        for fn in functions:
+        for step in steps:
             produced: List[dict] = []
             for rec in current:
-                if fn.is_java:
-                    result = registry.invoke_java(
-                        fn.library or "udflib", fn.name, [rec], eval_ctx
-                    )
-                else:
-                    result = registry.invoke(fn.name, [rec], eval_ctx)
+                result = step(rec, eval_ctx)
                 if isinstance(result, list):
                     produced.extend(result)
                 elif result is not None:

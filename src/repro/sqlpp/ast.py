@@ -15,39 +15,45 @@ from typing import List, Optional, Tuple
 
 
 class Expr:
-    """Base class for all expression nodes."""
+    """Base class for all expression nodes.
+
+    Every node is a ``slots=True`` dataclass: ASTs are allocated on the
+    ingestion hot path (probe expressions, circle-flip rewrites), so
+    per-instance ``__dict__`` overhead is measurable in the wall-clock
+    benchmark (``benchmarks/bench_wallclock.py``).
+    """
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal(Expr):
     value: object  # int, float, str, bool, None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MissingLiteral(Expr):
     pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarRef(Expr):
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FieldAccess(Expr):
     base: Expr
     field: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexAccess(Expr):
     base: Expr
     index: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call(Expr):
     """A function call; ``library`` is set for ``lib#fn(...)`` Java UDFs."""
 
@@ -60,32 +66,32 @@ class Call(Expr):
         return f"{self.library}#{self.name}" if self.library else self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Star(Expr):
     """``v.*`` inside a SELECT projection list."""
 
     base: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryOp(Expr):
     op: str  # 'not', '-'
     operand: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp(Expr):
     op: str  # 'and' 'or' '=' '!=' '<' '<=' '>' '>=' '+' '-' '*' '/' '%' 'in' 'not_in'
     left: Expr
     right: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Exists(Expr):
     subquery: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CaseExpr(Expr):
     """``CASE [operand] WHEN c THEN v ... [ELSE d] END``."""
 
@@ -94,17 +100,17 @@ class CaseExpr(Expr):
     default: Optional[Expr]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectConstructor(Expr):
     fields: Tuple[Tuple[str, Expr], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrayConstructor(Expr):
     items: Tuple[Expr, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Subquery(Expr):
     """A parenthesized SELECT usable as an expression (yields an array)."""
 
@@ -114,7 +120,7 @@ class Subquery(Expr):
 # --------------------------------------------------------------------- SELECT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FromTerm:
     """One FROM binding: ``expr [AS] var``, with optional per-source hints."""
 
@@ -123,13 +129,13 @@ class FromTerm:
     hints: Tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LetClause:
     var: str
     expr: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Projection:
     """One SELECT list item: expression plus optional output alias.
 
@@ -140,19 +146,19 @@ class Projection:
     alias: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupKey:
     expr: Expr
     alias: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderItem:
     expr: Expr
     descending: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SelectBlock(Expr):
     """A full SELECT block (also usable as a subquery expression)."""
 
@@ -176,7 +182,7 @@ class SelectBlock(Expr):
 # ------------------------------------------------------------------ functions
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDefinition:
     """``CREATE FUNCTION name(params) { body }`` — the SQL++ UDF form."""
 

@@ -28,6 +28,7 @@ per-record probe work meters onto ``ctx.meter`` (per-partition).
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..adm.schema import field_path as record_field_path
@@ -37,9 +38,7 @@ from ..hyracks.cost import WorkMeter
 from ..storage.index import IndexKind
 from .analysis import (
     contains_aggregate,
-    field_path_of,
     free_vars,
-    references_only,
     split_conjuncts,
 )
 from .ast import (
@@ -62,6 +61,21 @@ from .ast import (
     VarRef,
 )
 from .functions import AGGREGATE_NAMES, BUILTINS
+from .plans import (
+    SENTINEL,
+    DatasetRef,
+    PlanCache,
+    SelectPlan,
+    TermPlan,
+    aggregate_values,
+    apply_binary,
+    default_alias,
+    match_equality,
+    match_spatial,
+    other_side_center,
+    truthy,
+)
+from .plans import find_access_path as _plan_find_access_path
 
 
 class EvaluationContext:
@@ -74,6 +88,7 @@ class EvaluationContext:
         meter: Optional[WorkMeter] = None,
         allow_index: bool = True,
         reference_work_scale: float = 1.0,
+        use_plans: bool = True,
     ):
         self.catalog = catalog
         self.functions = functions  # repro.udf.FunctionRegistry or None
@@ -89,6 +104,14 @@ class EvaluationContext:
         self.batch_cache: Dict[object, object] = {}
         self.generation = 0
         self.cluster_nodes = 1  # set by the ingestion pipelines
+        # Compile-once plans (§5.2 analog): share the registry's cache when
+        # there is one, so plans survive across per-batch contexts and are
+        # invalidated centrally on function UPSERTs / DDL.
+        self.use_plans = use_plans
+        registry_cache = getattr(functions, "plan_cache", None)
+        self.plan_cache: PlanCache = (
+            registry_cache if registry_cache is not None else PlanCache()
+        )
 
     def refresh_batch(self) -> None:
         """Drop all cached intermediate state (a new batch begins)."""
@@ -102,15 +125,33 @@ class EvaluationContext:
 class Env:
     """A lexical scope chain of variable bindings."""
 
-    __slots__ = ("vars", "parent", "group", "group_key_values")
+    __slots__ = ("vars", "parent", "_group", "_group_env", "group_key_values")
 
     def __init__(self, vars=None, parent: Optional["Env"] = None):
         self.vars: Dict[str, object] = vars or {}
         self.parent = parent
-        self.group: Optional[List["Env"]] = None  # set in group contexts
+        self._group: Optional[List["Env"]] = None  # set in group contexts
+        # Nearest enclosing group env, maintained eagerly so the per-record
+        # hot path (every VarRef/FieldAccess checks for group-key
+        # shadowing) is an attribute read instead of a chain walk.  Group
+        # envs always assign ``.group`` before any child scopes are made,
+        # so inheriting the parent's pointer at construction is exact.
+        self._group_env: Optional["Env"] = (
+            parent._group_env if parent is not None else None
+        )
         self.group_key_values: Optional[Dict[Expr, object]] = None
 
-    _SENTINEL = object()
+    @property
+    def group(self) -> Optional[List["Env"]]:
+        return self._group
+
+    @group.setter
+    def group(self, members: Optional[List["Env"]]) -> None:
+        self._group = members
+        if members is not None:
+            self._group_env = self
+
+    _SENTINEL = SENTINEL  # shared with compiled closures (plans.SENTINEL)
 
     def lookup(self, name: str):
         env: Optional[Env] = self
@@ -134,20 +175,14 @@ class Env:
     def child(self, vars=None) -> "Env":
         return Env(vars or {}, parent=self)
 
-    def find_group(self):
-        env: Optional[Env] = self
-        while env is not None:
-            if env.group is not None:
-                return env
-            env = env.parent
-        return None
+    def find_group(self) -> Optional["Env"]:
+        return self._group_env
 
 
-def _truthy(value) -> bool:
-    """SQL++ WHERE semantics: NULL/MISSING are not true."""
-    if value is MISSING or value is None:
-        return False
-    return bool(value)
+# SQL++ WHERE semantics: NULL/MISSING are not true (shared with plans.py).
+_truthy = truthy
+
+_ITEM0 = itemgetter(0)
 
 
 def _sort_key(value):
@@ -258,73 +293,7 @@ class Evaluator:
             return _truthy(self.evaluate(expr.right, env))
         left = self.evaluate(expr.left, env)
         right = self.evaluate(expr.right, env)
-        if op in ("in", "not_in"):
-            return self._eval_membership(op, left, right)
-        if left is MISSING or right is MISSING:
-            return MISSING
-        if left is None or right is None:
-            return None
-        if op == "=":
-            return left == right
-        if op == "!=":
-            return left != right
-        try:
-            if op == "<":
-                return left < right
-            if op == "<=":
-                return left <= right
-            if op == ">":
-                return left > right
-            if op == ">=":
-                return left >= right
-            if op == "+":
-                return self._add(left, right)
-            if op == "-":
-                return self._subtract(left, right)
-            if op == "*":
-                return left * right
-            if op == "/":
-                return left / right
-            if op == "%":
-                return left % right
-        except TypeError as exc:
-            raise SqlppEvaluationError(
-                f"operator {op!r} cannot combine "
-                f"{type(left).__name__} and {type(right).__name__}"
-            ) from exc
-        raise SqlppEvaluationError(f"unknown operator {op!r}")
-
-    @staticmethod
-    def _add(left, right):
-        from ..adm.values import DateTime, Duration
-
-        if isinstance(left, DateTime) and isinstance(right, Duration):
-            return left.add(right)
-        if isinstance(left, Duration) and isinstance(right, DateTime):
-            return right.add(left)
-        if isinstance(left, str) or isinstance(right, str):
-            if isinstance(left, str) and isinstance(right, str):
-                return left + right
-            raise SqlppEvaluationError("cannot add string and non-string")
-        return left + right
-
-    @staticmethod
-    def _subtract(left, right):
-        from ..adm.values import DateTime, Duration
-
-        if isinstance(left, DateTime) and isinstance(right, Duration):
-            return left.add(Duration(-right.months, -right.millis))
-        return left - right
-
-    def _eval_membership(self, op: str, left, right):
-        if right is MISSING or left is MISSING:
-            return MISSING
-        if right is None:
-            return None
-        if not isinstance(right, list):
-            raise SqlppEvaluationError("IN requires an array on the right side")
-        result = left in right
-        return result if op == "in" else not result
+        return apply_binary(op, left, right)
 
     # ------------------------------------------------------------------ call
 
@@ -427,15 +396,32 @@ class Evaluator:
         Cacheable = every free variable is a catalog dataset.  The cache
         lives for one context generation (one batch), implementing the
         stale-until-next-batch top-10 list of Figure 18.
+
+        With ``use_plans`` (the default) the block's compiled plan carries
+        the cacheability verdict and all structural analysis; the
+        interpreted fallback re-derives them per call.  Both paths key the
+        batch cache by the plan cache's stable token — never raw ``id()``,
+        which can be recycled after the block is garbage-collected.
         """
+        ctx = self.ctx
+        if ctx.use_plans:
+            plan = ctx.plan_cache.plan_for(block, env.bound_names(), ctx.catalog)
+            if plan.cacheable:
+                key = ("uncorrelated", plan.token)
+                if key not in ctx.batch_cache:
+                    ctx.batch_cache[key] = self._planned_select(
+                        plan, env, meter=ctx.shared_meter
+                    )
+                return ctx.batch_cache[key]
+            return self._planned_select(plan, env)
         fv = free_vars(block)
-        if fv and all(name in self.ctx.catalog for name in fv):
-            key = ("uncorrelated", id(block))
-            if key not in self.ctx.batch_cache:
-                self.ctx.batch_cache[key] = self.evaluate_select(
-                    block, env, meter=self.ctx.shared_meter
+        if fv and all(name in ctx.catalog for name in fv):
+            key = ("uncorrelated", ctx.plan_cache.token_for(block))
+            if key not in ctx.batch_cache:
+                ctx.batch_cache[key] = self.evaluate_select(
+                    block, env, meter=ctx.shared_meter
                 )
-            return self.ctx.batch_cache[key]
+            return ctx.batch_cache[key]
         return self.evaluate_select(block, env)
 
     def evaluate_select(
@@ -575,20 +561,9 @@ class Evaluator:
         block: SelectBlock,
     ):
         """Return ("equality"|"spatial", field, probe_expr_builder) or None."""
-        if not isinstance(term.source, VarRef):
-            return None
-        if term.source.name not in self.ctx.catalog:
-            return None
-        var = term.var
-        allowed = bound | set(self.ctx.catalog)
-        for conjunct in conjuncts:
-            path = _match_equality(conjunct, var, allowed)
-            if path is not None:
-                return ("equality",) + path
-            path = _match_spatial(conjunct, var, allowed)
-            if path is not None:
-                return ("spatial",) + path
-        return None
+        return _plan_find_access_path(
+            term, conjuncts, bound, frozenset(self.ctx.catalog)
+        )
 
     def _access_term(
         self,
@@ -828,6 +803,241 @@ class Evaluator:
                 out[name] = value
         return out
 
+    # -------------------------------------------------------- planned path
+    #
+    # Mirrors of the interpreted SELECT machinery above, driven by a
+    # compiled :class:`~repro.sqlpp.plans.SelectPlan` instead of the AST.
+    # Every WorkMeter charge and every batch-cache/visibility rule must
+    # stay byte-identical to the interpreted path — the access primitives
+    # (_scan_dataset/_hash_probe/_btree_probe/_rtree_probe) are shared.
+
+    def _planned_select(
+        self, plan: SelectPlan, env: Env, meter: Optional[WorkMeter] = None
+    ) -> List:
+        saved_meter = None
+        if meter is not None:
+            saved_meter = self.ctx.meter
+            self.ctx.meter = meter
+        try:
+            return self._run_plan(plan, env)
+        finally:
+            if saved_meter is not None:
+                self.ctx.meter = saved_meter
+
+    def _run_plan(self, plan: SelectPlan, env: Env) -> List:
+        scope = env.child()
+        for var, fn in plan.let_fns:
+            scope.vars[var] = fn(self, scope)
+
+        if plan.terms is not None:
+            tuple_envs = self._planned_tuples(plan, scope)
+        else:
+            single = scope.child()
+            for var, fn in plan.post_let_fns:
+                single.vars[var] = fn(self, single)
+            if plan.where_fn is not None and not _truthy(
+                plan.where_fn(self, single)
+            ):
+                tuple_envs = []
+            else:
+                tuple_envs = [single]
+
+        if plan.has_group:
+            rows = self._planned_grouped(plan, scope, tuple_envs)
+        else:
+            rows = self._planned_ordered_projected(plan, tuple_envs)
+
+        if plan.distinct:
+            rows = _distinct_rows(rows)
+        if plan.limit_fn is not None:
+            limit = plan.limit_fn(self, scope)
+            if not isinstance(limit, int) or limit < 0:
+                raise SqlppEvaluationError("LIMIT must be a non-negative integer")
+            rows = rows[:limit]
+        return rows
+
+    def _planned_tuples(self, plan: SelectPlan, scope: Env) -> List[Env]:
+        ctx = self.ctx
+        terms = plan.terms
+        total = len(terms)
+        post_let_fns = plan.post_let_fns
+        where_fn = plan.where_fn
+        tuples: List[Env] = []
+
+        def recurse(idx: int, env_cur: Env, dataset_depth: int):
+            if idx == total:
+                if post_let_fns:
+                    final = env_cur.child()
+                    for var, fn in post_let_fns:
+                        final.vars[var] = fn(self, final)
+                else:
+                    # no post-FROM LETs: the last term's binding env IS the
+                    # tuple env (fresh per candidate, so safe to keep)
+                    final = env_cur
+                if where_fn is not None and not _truthy(where_fn(self, final)):
+                    return
+                tuples.append(final)
+                return
+            tp = terms[idx]
+            candidates = self._planned_access(tp, env_cur)
+            if tp.is_dataset and dataset_depth >= 1:
+                # Reference-to-reference join pairs: the outer side's
+                # candidate count is itself scaled down, so the pair work
+                # carries one extra reference-work-scale factor (pair counts
+                # are quadratic in dataset cardinality; the meter applies
+                # the other factor).
+                candidates = list(candidates)
+                ctx.meter.nlj_pairs += int(
+                    len(candidates) * ctx.reference_work_scale
+                )
+            next_depth = dataset_depth + (1 if tp.is_dataset else 0)
+            var = tp.var
+            for record in candidates:
+                recurse(idx + 1, Env({var: record}, env_cur), next_depth)
+
+        recurse(0, scope, 0)
+        return tuples
+
+    def _planned_access(self, tp: TermPlan, env: Env) -> Iterable:
+        # Non-dataset sources: evaluate and iterate.
+        if not tp.is_dataset:
+            value = tp.source_fn(self, env)
+            if isinstance(value, _DatasetRef):
+                return self._scan_dataset(value.dataset)
+            if value is MISSING or value is None:
+                return []
+            if isinstance(value, list):
+                return value
+            raise SqlppEvaluationError(
+                f"FROM source for {tp.var!r} is not iterable"
+            )
+        dataset = self.ctx.catalog[tp.dataset_name]
+        if tp.access_kind == "equality":
+            probe_value = tp.probe_fn(self, env)
+            index_name = (
+                dataset.index_on(tp.access_field, IndexKind.BTREE)
+                if not tp.no_index
+                else None
+            )
+            if index_name is not None and self.ctx.allow_index:
+                return self._btree_probe(dataset, index_name, probe_value)
+            return self._hash_probe(dataset, tp.access_field, probe_value)
+        if tp.access_kind == "spatial":
+            index_name = (
+                dataset.index_on(tp.access_field, IndexKind.RTREE)
+                if not tp.no_index
+                else None
+            )
+            if index_name is not None and self.ctx.allow_index:
+                query = tp.probe_fn(self, env)
+                if query is MISSING or query is None:
+                    return []
+                return self._rtree_probe(dataset, index_name, query)
+            # no index: fall through to a batch-cached scan (naive NLJ)
+        return self._scan_dataset(dataset)
+
+    def _planned_order_key(self, plan: SelectPlan, env: Env, row) -> Tuple:
+        oenv = self._order_env(env, row)
+        items = plan.order_items
+        if len(items) == 1:  # by far the common case; skip the genexpr
+            fn, descending = items[0]
+            return (_OrderKey(_sort_key(fn(self, oenv)), descending),)
+        return tuple(
+            _OrderKey(_sort_key(fn(self, oenv)), descending)
+            for fn, descending in items
+        )
+
+    def _planned_sorted_rows(
+        self, plan: SelectPlan, envs: List[Env], rows: List
+    ) -> List:
+        self.ctx.meter.sort_items += len(rows)
+        items = plan.order_items
+        if len(items) == 1:
+            # Single key: skip the _OrderKey wrappers — a stable C-level
+            # sort on the raw _sort_key tuple with ``reverse`` for DESC is
+            # order-identical (ties keep input order either way).
+            fn, descending = items[0]
+            pairs = [
+                (_sort_key(fn(self, self._order_env(env, row))), row)
+                for env, row in zip(envs, rows)
+            ]
+            pairs.sort(key=_ITEM0, reverse=descending)
+            return [row for _key, row in pairs]
+        decorated = [
+            (self._planned_order_key(plan, env, row), index, row)
+            for index, (env, row) in enumerate(zip(envs, rows))
+        ]
+        # The unique index breaks ties, so rows are never compared.
+        decorated.sort()
+        return [row for _key, _index, row in decorated]
+
+    def _planned_ordered_projected(
+        self, plan: SelectPlan, tuple_envs: List[Env]
+    ) -> List:
+        rows = [self._planned_project(plan, env) for env in tuple_envs]
+        if plan.order_items:
+            rows = self._planned_sorted_rows(plan, tuple_envs, rows)
+        return rows
+
+    def _planned_grouped(
+        self, plan: SelectPlan, scope: Env, tuple_envs: List[Env]
+    ) -> List:
+        self.ctx.meter.group_items += len(tuple_envs)
+        groups: Dict[Tuple, List[Env]] = {}
+        group_order: List[Tuple] = []
+        if plan.implicit_group:
+            key_values: List[Tuple] = [()] * len(tuple_envs)
+        else:
+            key_values = [
+                tuple(fn(self, env) for _expr, _alias, _default, fn in plan.group_keys)
+                for env in tuple_envs
+            ]
+        for env, key in zip(tuple_envs, key_values):
+            hashable = tuple(_sort_key(v) for v in key)
+            if hashable not in groups:
+                groups[hashable] = []
+                group_order.append((hashable, key))
+            groups[hashable].append(env)
+        if plan.implicit_group and not tuple_envs:
+            # SQL semantics: aggregates over an empty input yield one row.
+            group_order.append(((), ()))
+            groups[()] = []
+
+        group_envs: List[Env] = []
+        for hashable, key in group_order:
+            members = groups[hashable]
+            genv = scope.child()
+            genv.group = members
+            genv.group_key_values = {}
+            for (expr, alias, default_name, _fn), value in zip(plan.group_keys, key):
+                genv.group_key_values[expr] = value
+                if alias:
+                    genv.vars[alias] = value
+                elif default_name:
+                    # allow referring to the key by its last path component
+                    genv.vars.setdefault(default_name, value)
+            group_envs.append(genv)
+
+        rows = [self._planned_project(plan, genv) for genv in group_envs]
+        if plan.order_items:
+            rows = self._planned_sorted_rows(plan, group_envs, rows)
+        return rows
+
+    def _planned_project(self, plan: SelectPlan, env: Env):
+        if plan.select_value_fn is not None:
+            return plan.select_value_fn(self, env)
+        out: Dict[str, object] = {}
+        for name, fn in plan.projections:
+            if name is None:  # ``v.*`` expansion
+                base = fn(self, env)
+                if isinstance(base, dict):
+                    out.update(base)
+                continue
+            value = fn(self, env)
+            if value is not MISSING:
+                out[name] = value
+        return out
+
     _DISPATCH = {}
 
 
@@ -849,41 +1059,15 @@ class _OrderKey:
         return self.key == other.key
 
 
-class _DatasetRef:
-    """Wrapper marking a variable that resolved to a stored dataset."""
-
-    __slots__ = ("dataset",)
-
-    def __init__(self, dataset):
-        self.dataset = dataset
+# Shared with the plan compiler (plans.py); kept under the historical
+# module-private names for existing importers (compiler.py, tests).
+_DatasetRef = DatasetRef
+_default_alias = default_alias
 
 
-def _default_alias(expr: Expr, fallback: Optional[str]) -> Optional[str]:
-    if isinstance(expr, FieldAccess):
-        return expr.field
-    if isinstance(expr, VarRef):
-        return expr.name
-    if isinstance(expr, Call):
-        return expr.name
-    return fallback
-
-
-def _aggregate(name: str, values: List):
-    if name == "count":
-        return len(values)
-    if name == "array_agg":
-        return list(values)
-    if not values:
-        return None
-    if name == "sum":
-        return sum(values)
-    if name == "avg":
-        return sum(values) / len(values)
-    if name == "min":
-        return min(values)
-    if name == "max":
-        return max(values)
-    raise SqlppEvaluationError(f"unknown aggregate {name!r}")
+# Aggregate folding lives in plans.py (shared with compiled aggregate
+# closures); historical module-private alias:
+_aggregate = aggregate_values
 
 
 def _distinct_rows(rows: List) -> List:
@@ -897,74 +1081,10 @@ def _distinct_rows(rows: List) -> List:
     return out
 
 
-# Pattern matchers for access-path selection --------------------------------
-
-
-def _match_equality(conjunct: Expr, var: str, allowed: Set[str]):
-    """Match ``var.path = <expr free of var>`` (either side)."""
-    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
-        return None
-    outer_allowed = allowed - {var}
-    for term_side, other_side in (
-        (conjunct.left, conjunct.right),
-        (conjunct.right, conjunct.left),
-    ):
-        path = field_path_of(term_side, var)
-        if path is not None and references_only(other_side, outer_allowed):
-            return (path, other_side)
-    return None
-
-
-def _match_spatial(conjunct: Expr, var: str, allowed: Set[str]):
-    """Match spatial_intersect patterns usable with an R-tree on ``var``.
-
-    Handled shapes (x = any expression not referencing ``var``):
-      spatial_intersect(var.f, X)                -> probe with X
-      spatial_intersect(X, var.f)                -> probe with X
-      spatial_intersect(X, create_circle(var.f, R)) -> probe with circle(X', R)
-        (point-in-circle around var.f  ==  var.f within R of the point)
-    Returns (field, probe_expr) where probe_expr evaluates to the query
-    region, or None.
-    """
-    if not (
-        isinstance(conjunct, Call)
-        and conjunct.library is None
-        and conjunct.name.lower() == "spatial_intersect"
-        and len(conjunct.args) == 2
-    ):
-        return None
-    outer_allowed = allowed - {var}
-    a, b = conjunct.args
-    for term_side, other_side in ((a, b), (b, a)):
-        path = field_path_of(term_side, var)
-        if path is not None and references_only(other_side, outer_allowed):
-            return (path, other_side)
-        # create_circle(var.f, R) vs outer point/expr
-        if (
-            isinstance(term_side, Call)
-            and term_side.library is None
-            and term_side.name.lower() == "create_circle"
-            and len(term_side.args) == 2
-        ):
-            center, radius = term_side.args
-            path = field_path_of(center, var)
-            if (
-                path is not None
-                and references_only(radius, outer_allowed)
-                and references_only(other_side, outer_allowed)
-            ):
-                probe = Call("create_circle", (other_side_center(other_side), radius))
-                return (path, probe)
-    return None
-
-
-def other_side_center(expr: Expr) -> Expr:
-    """The probe center for the circle-flip rewrite.
-
-    If the outer side is ``create_point(x, y)`` we can use it directly;
-    any other expression is used as-is (it must evaluate to a point).
-    """
-    return expr
+# Pattern matchers for access-path selection live in plans.py (they are
+# shared by plan building); historical module-private aliases:
+_match_equality = match_equality
+_match_spatial = match_spatial
 
 
 # Bind the dispatch table now that all methods exist.

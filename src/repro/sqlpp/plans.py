@@ -1,0 +1,884 @@
+"""Compile-once query plans for SQL++ SELECT blocks (the §5.2 analog).
+
+The paper's parameterized predeployed jobs compile a computing job once
+and re-invoke it per batch with only the parameters changing.  This module
+is the expression-level counterpart: all *structural* analysis of a
+``SelectBlock`` — conjunct splitting, free-variable classification, greedy
+join ordering, access-path selection — plus compilation of every scalar
+expression into a direct-call closure happens exactly once per (block,
+visible-names) pair and is cached for the lifetime of the function
+definition.  The per-record inner loop then runs closures instead of
+walking the AST through ``Evaluator._DISPATCH``.
+
+What is deliberately *not* decided at plan time:
+
+* which physical index serves an access path — ``Dataset.index_on`` is
+  consulted per batch-cache miss, so dropping/creating an index flips the
+  chosen path without any plan invalidation;
+* per-batch visibility — the plan calls back into the evaluator's
+  ``_scan_dataset`` / ``_hash_probe`` / ``_btree_probe`` / ``_rtree_probe``
+  primitives, so the generation rules (hash builds stale-within-batch,
+  index probes live) and every ``WorkMeter`` charge are byte-identical to
+  interpreted evaluation.
+
+Closures are duck-typed ``fn(evaluator, env) -> value``; this module never
+imports the evaluator (the evaluator imports *us*), which keeps the layer
+acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..adm.values import MISSING
+from ..errors import SqlppAnalysisError, SqlppEvaluationError
+from .analysis import (
+    contains_aggregate,
+    field_path_of,
+    free_vars,
+    references_only,
+    split_conjuncts,
+)
+from .ast import (
+    ArrayConstructor,
+    BinaryOp,
+    Call,
+    CaseExpr,
+    Exists,
+    Expr,
+    FieldAccess,
+    FromTerm,
+    IndexAccess,
+    Literal,
+    MissingLiteral,
+    ObjectConstructor,
+    SelectBlock,
+    Star,
+    Subquery,
+    UnaryOp,
+    VarRef,
+)
+from .functions import AGGREGATE_NAMES, BUILTINS
+
+#: the "name is unbound" marker shared with ``Env`` (class attr ``_SENTINEL``)
+SENTINEL = object()
+
+
+class DatasetRef:
+    """Wrapper marking a variable that resolved to a stored dataset."""
+
+    __slots__ = ("dataset",)
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+
+# ------------------------------------------------------------ shared helpers
+
+
+def aggregate_values(name: str, values):
+    """Fold a cleaned value list with the named SQL++ aggregate."""
+    if name == "count":
+        return len(values)
+    if name == "array_agg":
+        return list(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    raise SqlppEvaluationError(f"unknown aggregate {name!r}")
+
+
+def truthy(value) -> bool:
+    """SQL++ WHERE semantics: NULL/MISSING are not true."""
+    if value is MISSING or value is None:
+        return False
+    return bool(value)
+
+
+def add_values(left, right):
+    from ..adm.values import DateTime, Duration
+
+    if isinstance(left, DateTime) and isinstance(right, Duration):
+        return left.add(right)
+    if isinstance(left, Duration) and isinstance(right, DateTime):
+        return right.add(left)
+    if isinstance(left, str) or isinstance(right, str):
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        raise SqlppEvaluationError("cannot add string and non-string")
+    return left + right
+
+
+def subtract_values(left, right):
+    from ..adm.values import DateTime, Duration
+
+    if isinstance(left, DateTime) and isinstance(right, Duration):
+        return left.add(Duration(-right.months, -right.millis))
+    return left - right
+
+
+def membership(op: str, left, right):
+    if right is MISSING or left is MISSING:
+        return MISSING
+    if right is None:
+        return None
+    if not isinstance(right, list):
+        raise SqlppEvaluationError("IN requires an array on the right side")
+    result = left in right
+    return result if op == "in" else not result
+
+
+def apply_binary(op: str, left, right):
+    """Non-short-circuit binary operator semantics on evaluated operands."""
+    if op in ("in", "not_in"):
+        return membership(op, left, right)
+    if left is MISSING or right is MISSING:
+        return MISSING
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return add_values(left, right)
+        if op == "-":
+            return subtract_values(left, right)
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+    except TypeError as exc:
+        raise SqlppEvaluationError(
+            f"operator {op!r} cannot combine "
+            f"{type(left).__name__} and {type(right).__name__}"
+        ) from exc
+    raise SqlppEvaluationError(f"unknown operator {op!r}")
+
+
+def default_alias(expr: Expr, fallback: Optional[str]) -> Optional[str]:
+    if isinstance(expr, FieldAccess):
+        return expr.field
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Call):
+        return expr.name
+    return fallback
+
+
+def has_top_level_aggregate(block: SelectBlock) -> bool:
+    if block.select_value is not None and contains_aggregate(block.select_value):
+        return True
+    return any(contains_aggregate(p.expr) for p in block.projections)
+
+
+# ------------------------------------- access-path pattern matchers (§4.3.4)
+
+
+def match_equality(conjunct: Expr, var: str, allowed: Set[str]):
+    """Match ``var.path = <expr free of var>`` (either side)."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    outer_allowed = allowed - {var}
+    for term_side, other_side in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        path = field_path_of(term_side, var)
+        if path is not None and references_only(other_side, outer_allowed):
+            return (path, other_side)
+    return None
+
+
+def match_spatial(conjunct: Expr, var: str, allowed: Set[str]):
+    """Match spatial_intersect patterns usable with an R-tree on ``var``.
+
+    Handled shapes (x = any expression not referencing ``var``):
+      spatial_intersect(var.f, X)                -> probe with X
+      spatial_intersect(X, var.f)                -> probe with X
+      spatial_intersect(X, create_circle(var.f, R)) -> probe with circle(X', R)
+        (point-in-circle around var.f  ==  var.f within R of the point)
+    Returns (field, probe_expr) where probe_expr evaluates to the query
+    region, or None.
+    """
+    if not (
+        isinstance(conjunct, Call)
+        and conjunct.library is None
+        and conjunct.name.lower() == "spatial_intersect"
+        and len(conjunct.args) == 2
+    ):
+        return None
+    outer_allowed = allowed - {var}
+    a, b = conjunct.args
+    for term_side, other_side in ((a, b), (b, a)):
+        path = field_path_of(term_side, var)
+        if path is not None and references_only(other_side, outer_allowed):
+            return (path, other_side)
+        # create_circle(var.f, R) vs outer point/expr
+        if (
+            isinstance(term_side, Call)
+            and term_side.library is None
+            and term_side.name.lower() == "create_circle"
+            and len(term_side.args) == 2
+        ):
+            center, radius = term_side.args
+            path = field_path_of(center, var)
+            if (
+                path is not None
+                and references_only(radius, outer_allowed)
+                and references_only(other_side, outer_allowed)
+            ):
+                probe = Call("create_circle", (other_side_center(other_side), radius))
+                return (path, probe)
+    return None
+
+
+def other_side_center(expr: Expr) -> Expr:
+    """The probe center for the circle-flip rewrite.
+
+    If the outer side is ``create_point(x, y)`` we can use it directly;
+    any other expression is used as-is (it must evaluate to a point).
+    """
+    return expr
+
+
+def find_access_path(
+    term: FromTerm,
+    conjuncts: List[Expr],
+    bound: Set[str],
+    catalog_names: FrozenSet[str],
+):
+    """Return ("equality"|"spatial", field, probe_expr) or None."""
+    if not isinstance(term.source, VarRef):
+        return None
+    if term.source.name not in catalog_names:
+        return None
+    var = term.var
+    allowed = set(bound) | catalog_names
+    for conjunct in conjuncts:
+        path = match_equality(conjunct, var, allowed)
+        if path is not None:
+            return ("equality",) + path
+        path = match_spatial(conjunct, var, allowed)
+        if path is not None:
+            return ("spatial",) + path
+    return None
+
+
+def order_terms(
+    terms: List[FromTerm],
+    conjuncts: List[Expr],
+    outer_bound: Set[str],
+    catalog_names: FrozenSet[str],
+) -> List[FromTerm]:
+    """Greedy join-order: pick next the term with a usable access path."""
+    remaining = list(terms)
+    ordered: List[FromTerm] = []
+    bound = set(outer_bound)
+    while remaining:
+        chosen = None
+        for term in remaining:
+            if find_access_path(term, conjuncts, bound, catalog_names) is not None:
+                chosen = term
+                break
+        if chosen is None:
+            chosen = remaining[0]
+        ordered.append(chosen)
+        remaining.remove(chosen)
+        bound.add(chosen.var)
+    return ordered
+
+
+# -------------------------------------------------------- expression closures
+
+
+def compile_expr(expr: Expr) -> Callable:
+    """Compile ``expr`` to a closure ``fn(evaluator, env) -> value``.
+
+    Each closure mirrors the corresponding ``Evaluator._eval_*`` method
+    exactly (including error messages and GROUP BY key shadowing); the
+    structural decisions — which node kind, which operator, which argument
+    sub-closures — are made here, once, instead of per record.
+    """
+    builder = _COMPILERS.get(type(expr))
+    if builder is None:
+        raise SqlppEvaluationError(f"cannot compile node {type(expr).__name__}")
+    return builder(expr)
+
+
+def _compile_literal(expr: Literal) -> Callable:
+    value = expr.value
+    return lambda ev, env: value
+
+
+def _compile_missing(expr: MissingLiteral) -> Callable:
+    return lambda ev, env: MISSING
+
+
+def _compile_varref(expr: VarRef) -> Callable:
+    name = expr.name
+
+    def run(ev, env):
+        # group-key expression lookup first (GROUP BY aliases shadow);
+        # ``_group_env`` is the O(1) cached ``find_group()`` pointer
+        genv = env._group_env
+        if genv is not None and genv.group_key_values:
+            if expr in genv.group_key_values:
+                return genv.group_key_values[expr]
+        value = env.lookup(name)
+        if value is not SENTINEL:
+            return value
+        dataset = ev.ctx.dataset(name)
+        if dataset is not None:
+            return DatasetRef(dataset)
+        raise SqlppAnalysisError(f"unresolved variable: {name}")
+
+    return run
+
+
+def _compile_field(expr: FieldAccess) -> Callable:
+    base_fn = compile_expr(expr.base)
+    field = expr.field
+
+    def run(ev, env):
+        genv = env._group_env
+        if genv is not None and genv.group_key_values:
+            if expr in genv.group_key_values:
+                return genv.group_key_values[expr]
+        base = base_fn(ev, env)
+        if base is MISSING or base is None:
+            return MISSING
+        if isinstance(base, dict):
+            return base.get(field, MISSING)
+        return MISSING
+
+    return run
+
+
+def _compile_index(expr: IndexAccess) -> Callable:
+    base_fn = compile_expr(expr.base)
+    index_fn = compile_expr(expr.index)
+
+    def run(ev, env):
+        base = base_fn(ev, env)
+        index = index_fn(ev, env)
+        if base is MISSING or index is MISSING:
+            return MISSING
+        if base is None or index is None:
+            return None
+        if not isinstance(base, list) or not isinstance(index, int):
+            return MISSING
+        if -len(base) <= index < len(base):
+            return base[index]
+        return MISSING
+
+    return run
+
+
+def _compile_unary(expr: UnaryOp) -> Callable:
+    operand_fn = compile_expr(expr.operand)
+    if expr.op == "not":
+
+        def run(ev, env):
+            value = operand_fn(ev, env)
+            if value is MISSING or value is None:
+                return value
+            return not bool(value)
+
+        return run
+    if expr.op == "-":
+
+        def run(ev, env):
+            value = operand_fn(ev, env)
+            if value is MISSING or value is None:
+                return value
+            return -value
+
+        return run
+    raise SqlppEvaluationError(f"unknown unary operator {expr.op!r}")
+
+
+def _compile_binary(expr: BinaryOp) -> Callable:
+    op = expr.op
+    left_fn = compile_expr(expr.left)
+    right_fn = compile_expr(expr.right)
+    if op == "and":
+
+        def run(ev, env):
+            if not truthy(left_fn(ev, env)):
+                return False
+            return truthy(right_fn(ev, env))
+
+        return run
+    if op == "or":
+
+        def run(ev, env):
+            if truthy(left_fn(ev, env)):
+                return True
+            return truthy(right_fn(ev, env))
+
+        return run
+
+    if op == "=" or op == "!=":
+        # the hottest comparisons (probe/WHERE predicates): inline the
+        # MISSING/NULL propagation instead of re-dispatching on op
+        equals = op == "="
+
+        def run(ev, env):
+            left = left_fn(ev, env)
+            right = right_fn(ev, env)
+            if left is MISSING or right is MISSING:
+                return MISSING
+            if left is None or right is None:
+                return None
+            return (left == right) if equals else (left != right)
+
+        return run
+
+    def run(ev, env):
+        return apply_binary(op, left_fn(ev, env), right_fn(ev, env))
+
+    return run
+
+
+def _compile_aggregate(expr: Call, lowered: str) -> Callable:
+    """Aggregate call: iterate the group with a *compiled* argument closure.
+
+    Mirrors ``Evaluator._eval_aggregate`` exactly — grouped form folds the
+    argument over the member envs, ungrouped form is the SQL++ array form.
+    Malformed corner cases (no argument, ``*`` outside a group) delegate to
+    the interpreted method so error messages stay identical.
+    """
+    count_star = bool(expr.args) and isinstance(expr.args[0], Star)
+    arg_fn = None
+    if expr.args and not count_star:
+        arg_fn = compile_expr(expr.args[0])
+
+    def run(ev, env):
+        genv = env._group_env
+        if genv is not None:
+            if count_star:
+                return aggregate_values(lowered, [1] * len(genv.group))
+            if arg_fn is None:
+                return ev._eval_aggregate(expr, env)
+            values = []
+            for tuple_env in genv.group:
+                value = arg_fn(ev, tuple_env)
+                if value is not MISSING and value is not None:
+                    values.append(value)
+            return aggregate_values(lowered, values)
+        # No group: SQL++ array form — the argument must be a collection.
+        if not expr.args or count_star:
+            return ev._eval_aggregate(expr, env)
+        value = arg_fn(ev, env)
+        if value is MISSING:
+            return MISSING
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            raise SqlppEvaluationError(
+                f"{lowered}() outside GROUP BY requires an array argument"
+            )
+        cleaned = [v for v in value if v is not None and v is not MISSING]
+        return aggregate_values(lowered, cleaned)
+
+    return run
+
+
+def _compile_call(expr: Call) -> Callable:
+    name = expr.name
+    lowered = name.lower()
+    library = expr.library
+    if library is None and lowered in AGGREGATE_NAMES:
+        return _compile_aggregate(expr, lowered)
+    arg_fns = tuple(compile_expr(arg) for arg in expr.args)
+    if library is not None:
+        qualified = expr.qualified_name
+
+        def run(ev, env):
+            args = [fn(ev, env) for fn in arg_fns]
+            functions = ev.ctx.functions
+            if functions is None:
+                raise SqlppAnalysisError(f"no function registry for {qualified}")
+            return functions.invoke_java(library, name, args, ev.ctx)
+
+        return run
+
+    def run(ev, env):
+        args = [fn(ev, env) for fn in arg_fns]
+        functions = ev.ctx.functions
+        if functions is not None and functions.has(name):
+            return functions.invoke(name, args, ev.ctx)
+        builtin = BUILTINS.lookup(lowered)
+        if builtin is None:
+            raise SqlppAnalysisError(f"unknown function: {name}")
+        try:
+            return builtin(ev.ctx, *args)
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise SqlppEvaluationError(f"{name}: {exc}") from exc
+
+    return run
+
+
+def _compile_case(expr: CaseExpr) -> Callable:
+    operand_fn = compile_expr(expr.operand) if expr.operand is not None else None
+    when_fns = tuple(
+        (compile_expr(cond), compile_expr(value)) for cond, value in expr.whens
+    )
+    default_fn = compile_expr(expr.default) if expr.default is not None else None
+    if operand_fn is not None:
+
+        def run(ev, env):
+            operand = operand_fn(ev, env)
+            for cond_fn, value_fn in when_fns:
+                if cond_fn(ev, env) == operand:
+                    return value_fn(ev, env)
+            if default_fn is not None:
+                return default_fn(ev, env)
+            return None
+
+        return run
+
+    def run(ev, env):
+        for cond_fn, value_fn in when_fns:
+            if truthy(cond_fn(ev, env)):
+                return value_fn(ev, env)
+        if default_fn is not None:
+            return default_fn(ev, env)
+        return None
+
+    return run
+
+
+def _compile_object(expr: ObjectConstructor) -> Callable:
+    field_fns = tuple((name, compile_expr(value)) for name, value in expr.fields)
+
+    def run(ev, env):
+        out = {}
+        for name, fn in field_fns:
+            value = fn(ev, env)
+            if value is not MISSING:
+                out[name] = value
+        return out
+
+    return run
+
+
+def _compile_array(expr: ArrayConstructor) -> Callable:
+    item_fns = tuple(compile_expr(item) for item in expr.items)
+
+    def run(ev, env):
+        return [fn(ev, env) for fn in item_fns]
+
+    return run
+
+
+def _compile_exists(expr: Exists) -> Callable:
+    sub_fn = compile_expr(expr.subquery)
+
+    def run(ev, env):
+        value = sub_fn(ev, env)
+        if isinstance(value, list):
+            return len(value) > 0
+        return value is not MISSING and value is not None
+
+    return run
+
+
+def _compile_subquery(expr: Subquery) -> Callable:
+    select = expr.select
+    # Child plans resolve through _cached_select at runtime: the child's
+    # plan key depends on the *runtime* visible names (group aliases,
+    # ORDER BY row envs), which static simulation cannot reproduce.
+    return lambda ev, env: ev._cached_select(select, env)
+
+
+def _compile_select(expr: SelectBlock) -> Callable:
+    return lambda ev, env: ev._cached_select(expr, env)
+
+
+def _compile_star(expr: Star) -> Callable:
+    def run(ev, env):
+        raise SqlppEvaluationError("'.*' is only valid in a SELECT clause")
+
+    return run
+
+
+_COMPILERS = {
+    Literal: _compile_literal,
+    MissingLiteral: _compile_missing,
+    VarRef: _compile_varref,
+    FieldAccess: _compile_field,
+    IndexAccess: _compile_index,
+    UnaryOp: _compile_unary,
+    BinaryOp: _compile_binary,
+    Call: _compile_call,
+    CaseExpr: _compile_case,
+    ObjectConstructor: _compile_object,
+    ArrayConstructor: _compile_array,
+    Exists: _compile_exists,
+    Subquery: _compile_subquery,
+    SelectBlock: _compile_select,
+    Star: _compile_star,
+}
+
+
+# -------------------------------------------------------------- select plans
+
+
+class TermPlan:
+    """The precomputed access decision for one (ordered) FROM term."""
+
+    __slots__ = (
+        "term",
+        "var",
+        "is_dataset",
+        "dataset_name",
+        "no_index",
+        "access_kind",  # "equality" | "spatial" | None
+        "access_field",
+        "probe_fn",
+        "source_fn",  # compiled source for non-dataset terms
+    )
+
+    def __init__(self):
+        self.term = None
+        self.var = None
+        self.is_dataset = False
+        self.dataset_name = None
+        self.no_index = False
+        self.access_kind = None
+        self.access_field = None
+        self.probe_fn = None
+        self.source_fn = None
+
+
+class SelectPlan:
+    """Everything per-record evaluation needs, analyzed exactly once."""
+
+    __slots__ = (
+        "block",
+        "token",
+        "cacheable",
+        "catalog_names",
+        "let_fns",
+        "post_let_fns",
+        "where_fn",
+        "terms",  # tuple of TermPlan in join order, or None (no FROM)
+        "has_group",
+        "implicit_group",
+        "group_keys",  # tuple of (expr, alias, default_name, fn)
+        "select_value_fn",
+        "projections",  # tuple of (name, fn); name None = ``v.*`` expansion
+        "order_items",  # tuple of (fn, descending)
+        "limit_fn",
+        "distinct",
+    )
+
+
+def build_select_plan(
+    block: SelectBlock,
+    bound_names: FrozenSet[str],
+    catalog_names: FrozenSet[str],
+    token: int,
+) -> SelectPlan:
+    """Analyze ``block`` once for the given visible names and catalog."""
+    plan = SelectPlan()
+    plan.block = block
+    plan.token = token
+    plan.catalog_names = catalog_names
+    fv = free_vars(block)
+    # Cacheable = uncorrelated: every free variable is a catalog dataset
+    # (the stale-until-next-batch top-10 list of Figure 18).
+    plan.cacheable = bool(fv) and fv <= catalog_names
+    plan.let_fns = tuple((let.var, compile_expr(let.expr)) for let in block.lets)
+    plan.post_let_fns = tuple(
+        (let.var, compile_expr(let.expr)) for let in block.post_lets
+    )
+    plan.where_fn = compile_expr(block.where) if block.where is not None else None
+    plan.terms = (
+        _plan_from_terms(block, bound_names, catalog_names)
+        if block.from_terms
+        else None
+    )
+    implicit = (
+        not block.group_keys
+        and bool(block.from_terms)
+        and has_top_level_aggregate(block)
+    )
+    plan.implicit_group = implicit
+    plan.has_group = bool(block.group_keys) or implicit
+    plan.group_keys = tuple(
+        (
+            key.expr,
+            key.alias,
+            default_alias(key.expr, fallback=None),
+            compile_expr(key.expr),
+        )
+        for key in block.group_keys
+    )
+    plan.select_value_fn = (
+        compile_expr(block.select_value) if block.select_value is not None else None
+    )
+    projections = []
+    for position, proj in enumerate(block.projections, start=1):
+        if isinstance(proj.expr, Star):
+            projections.append((None, compile_expr(proj.expr.base)))
+        else:
+            name = proj.alias or default_alias(proj.expr, fallback=f"${position}")
+            projections.append((name, compile_expr(proj.expr)))
+    plan.projections = tuple(projections)
+    plan.order_items = tuple(
+        (compile_expr(item.expr), item.descending) for item in block.order_items
+    )
+    plan.limit_fn = compile_expr(block.limit) if block.limit is not None else None
+    plan.distinct = block.distinct
+    return plan
+
+
+def _plan_from_terms(
+    block: SelectBlock,
+    bound_names: FrozenSet[str],
+    catalog_names: FrozenSet[str],
+) -> Tuple[TermPlan, ...]:
+    """Join-order the FROM terms and fix each term's access decision.
+
+    Mirrors ``Evaluator._generate_tuples``: the greedy ordering and the
+    access-path match depend only on the AST, the names visible outside
+    the block, and the catalog's dataset names — all fixed per plan.
+    """
+    conjuncts = split_conjuncts(block.where)
+    scope_names = set(bound_names)
+    for let in block.lets:
+        scope_names.add(let.var)
+    outer_bound = scope_names - catalog_names
+    order = order_terms(block.from_terms, conjuncts, outer_bound, catalog_names)
+    plans: List[TermPlan] = []
+    bound = set(outer_bound)
+    visible = set(scope_names)
+    for term in order:
+        tp = TermPlan()
+        tp.term = term
+        tp.var = term.var
+        source = term.source
+        tp.is_dataset = (
+            isinstance(source, VarRef)
+            and source.name in catalog_names
+            and source.name not in visible
+        )
+        if tp.is_dataset:
+            tp.dataset_name = source.name
+            tp.no_index = "no-index" in term.hints or "no-index" in block.hints
+            path = find_access_path(term, conjuncts, bound, catalog_names)
+            if path is not None:
+                tp.access_kind, tp.access_field, probe = path
+                tp.probe_fn = compile_expr(probe)
+        else:
+            tp.source_fn = compile_expr(source)
+        plans.append(tp)
+        bound.add(term.var)
+        visible.add(term.var)
+    return tuple(plans)
+
+
+# ---------------------------------------------------------------- plan cache
+
+
+class PlanCache:
+    """Compiled plans keyed by stable AST identity.
+
+    Raw ``id()`` keys are unsafe on their own — a GC'd AST node's id can be
+    recycled by a later allocation (e.g. a re-registered function body).
+    The cache therefore pins every keyed block with a strong reference, so
+    an id stays unique for as long as it is used as a key, and hands out
+    monotonically increasing *tokens* for batch-cache keys.  Tokens are
+    never reused, even across :meth:`invalidate`, so a stale
+    ``("uncorrelated", token)`` batch-cache entry can never be served to a
+    different block.
+    """
+
+    def __init__(self):
+        self._plans: Dict[tuple, SelectPlan] = {}
+        self._blocks: Dict[int, SelectBlock] = {}  # strong refs pin ids
+        self._tokens: Dict[int, int] = {}
+        self._next_token = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def token_for(self, block: SelectBlock) -> int:
+        """A stable, never-reused identity token for ``block``."""
+        token = self._tokens.get(id(block))
+        if token is None:
+            self._blocks[id(block)] = block
+            self._next_token += 1
+            token = self._next_token
+            self._tokens[id(block)] = token
+        return token
+
+    def plan_for(
+        self, block: SelectBlock, bound_names: Set[str], catalog: Dict[str, object]
+    ) -> SelectPlan:
+        """The compiled plan for ``block`` with the given visible names.
+
+        Revalidated against the catalog's dataset names on every lookup, so
+        CREATE/DROP DATASET transparently re-plans; index changes need no
+        re-plan at all (``index_on`` is consulted at runtime).
+        """
+        key = (id(block), frozenset(bound_names))
+        plan = self._plans.get(key)
+        if plan is not None and catalog.keys() == plan.catalog_names:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = build_select_plan(
+            block,
+            frozenset(bound_names),
+            frozenset(catalog),
+            self.token_for(block),
+        )
+        self._plans[key] = plan
+        return plan
+
+    def invalidate(self) -> None:
+        """Drop every plan (function UPSERT / DDL change).
+
+        ``_next_token`` is deliberately NOT reset: batch caches may still
+        hold ``("uncorrelated", token)`` entries from the dropped plans
+        within the current generation, and a recycled token would let a
+        new block read another block's cached rows.
+        """
+        if self._plans or self._tokens:
+            self.invalidations += 1
+        self._plans.clear()
+        self._blocks.clear()
+        self._tokens.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._plans)

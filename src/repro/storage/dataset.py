@@ -79,6 +79,13 @@ class Dataset:
         self.indexes[name] = per_partition
         self._index_fields[name] = (field, kind)
 
+    def drop_index(self, name: str) -> None:
+        """Drop a secondary index; scans over its field fall back to hash."""
+        if name not in self.indexes:
+            raise IndexError_(f"no index {name!r} on {self.name}")
+        del self.indexes[name]
+        del self._index_fields[name]
+
     def index_on(self, field: str, kind: Optional[IndexKind] = None):
         """Find an index over ``field`` (optionally of a specific kind)."""
         for name, (ifield, ikind) in self._index_fields.items():

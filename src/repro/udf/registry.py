@@ -8,6 +8,7 @@ from ..errors import UdfError, UdfRegistrationError
 from ..sqlpp.analysis import is_stateful, uses_unsupported_builtin
 from ..sqlpp.ast import FunctionDefinition
 from ..sqlpp.parser import parse_function
+from ..sqlpp.plans import PlanCache
 
 
 class SqlppUdf:
@@ -40,6 +41,13 @@ class FunctionRegistry:
         self._sqlpp: Dict[str, SqlppUdf] = {}
         self._java: Dict[str, object] = {}  # "lib#name" -> JavaUdfDescriptor
         self._catalog_names_provider = catalog_names_provider or (lambda: set())
+        # Compile-once plans for every UDF body (§5.2 analog); evaluation
+        # contexts built over this registry share it, so plans survive
+        # across batches and are invalidated centrally.
+        self.plan_cache = PlanCache()
+        # Bumped on every registration change; prepared invokers re-resolve
+        # their function when it moves (§3.2 instant updates).
+        self.version = 0
 
     # ---------------------------------------------------------------- sql++
 
@@ -52,9 +60,10 @@ class FunctionRegistry:
             raise UdfRegistrationError(
                 f"function {definition.name!r} already registered"
             )
+        called = uses_unsupported_builtin(definition)
         unknown = [
             name
-            for name in uses_unsupported_builtin(definition)
+            for name in called
             if name not in self._sqlpp and name != definition.name
         ]
         if unknown:
@@ -64,11 +73,12 @@ class FunctionRegistry:
         catalog_names = set(self._catalog_names_provider())
         stateful = is_stateful(definition, catalog_names) or any(
             self._sqlpp[name].stateful
-            for name in uses_unsupported_builtin(definition)
+            for name in called
             if name in self._sqlpp
         )
         udf = SqlppUdf(definition, stateful)
         self._sqlpp[definition.name] = udf
+        self.version += 1
         return udf
 
     def replace_sqlpp(self, definition_or_source) -> SqlppUdf:
@@ -78,7 +88,16 @@ class FunctionRegistry:
         else:
             definition = definition_or_source
         self._sqlpp.pop(definition.name, None)
-        return self.register_sqlpp(definition)
+        udf = self.register_sqlpp(definition)
+        # Old plans may close over the replaced body; drop them all so the
+        # next batch replans against the new definition.
+        self.plan_cache.invalidate()
+        return udf
+
+    def invalidate_plans(self) -> None:
+        """Drop all cached plans (called on DDL: dataset/index changes)."""
+        self.plan_cache.invalidate()
+        self.version += 1
 
     # ----------------------------------------------------------------- java
 
@@ -87,6 +106,7 @@ class FunctionRegistry:
         if key in self._java:
             raise UdfRegistrationError(f"java function {key!r} already registered")
         self._java[key] = descriptor
+        self.version += 1
 
     # --------------------------------------------------------------- lookup
 
@@ -126,6 +146,33 @@ class FunctionRegistry:
             )
         env = Env(dict(zip(udf.definition.params, args)))
         return Evaluator(ctx).evaluate(udf.definition.body, env)
+
+    def prepared_invoker(self, name: str):
+        """Return a callable ``fn(args, ctx)`` that skips per-call lookup.
+
+        The function is resolved (name lookup + arity) once per registry
+        version, not once per record; a ``replace_sqlpp`` bumps the version
+        so the next call re-resolves and picks up the new body (§3.2).
+        """
+        from ..sqlpp.evaluator import Env, Evaluator
+
+        state = {"version": -1, "udf": None, "params": None}
+
+        def invoke_prepared(args: List, ctx):
+            if state["version"] != self.version:
+                udf = self.get(name)
+                state["udf"] = udf
+                state["params"] = tuple(udf.definition.params)
+                state["version"] = self.version
+            udf = state["udf"]
+            if len(args) != udf.arity:
+                raise UdfError(
+                    f"{name} expects {udf.arity} argument(s), got {len(args)}"
+                )
+            env = Env(dict(zip(state["params"], args)))
+            return Evaluator(ctx).evaluate(udf.definition.body, env)
+
+        return invoke_prepared
 
     def invoke_java(self, library: str, name: str, args: List, ctx):
         """Invoke a Java UDF through its per-generation cached instance."""

@@ -28,6 +28,32 @@ class TestSqlppRegistration:
         ctx = EvaluationContext({}, functions=reg)
         assert reg.invoke("f", [1], ctx) == [3]
 
+    def test_called_names_analyzed_once_per_registration(self, reg, monkeypatch):
+        import repro.udf.registry as registry_module
+
+        calls = {"count": 0}
+        original = registry_module.uses_unsupported_builtin
+
+        def counting(definition):
+            calls["count"] += 1
+            return original(definition)
+
+        monkeypatch.setattr(
+            registry_module, "uses_unsupported_builtin", counting
+        )
+        reg.register_sqlpp("CREATE FUNCTION f(a) { SELECT VALUE lower(a) }")
+        assert calls["count"] == 1
+
+    def test_prepared_invoker_tracks_replacement(self, reg):
+        reg.register_sqlpp("CREATE FUNCTION f(a) { SELECT VALUE a + 1 }")
+        prepared = reg.prepared_invoker("f")
+        ctx = EvaluationContext({}, functions=reg)
+        assert prepared([1], ctx) == [2]
+        reg.replace_sqlpp("CREATE FUNCTION f(a) { SELECT VALUE a + 10 }")
+        assert prepared([1], ctx) == [11]  # re-resolves on version bump
+        with pytest.raises(UdfError, match="expects 1 argument"):
+            prepared([1, 2], ctx)
+
     def test_stateful_classification(self, reg):
         udf = reg.register_sqlpp(
             "CREATE FUNCTION g(t) { SELECT VALUE s FROM SensitiveWords s }"
