@@ -1,0 +1,85 @@
+"""Chaos benchmark: deterministic fault injection + supervised recovery.
+
+Each scenario is a reproducible discrete-event fault schedule (computing
+crash, storage stall, holder disconnect, transient channel-send failure)
+driven through a full feed under the Spill policy.  The harness verifies:
+
+* **zero acked-record loss** — every well-formed input record is stored
+  after recovery (at-least-once replay + primary-key upsert);
+* **determinism** — two identical runs produce byte-identical fault
+  counters and the same simulated makespan;
+* a no-fault baseline keeps every fault counter at zero.
+
+Output goes to ``BENCH_chaos.json`` at the repo root (simulated numbers,
+but kept out of ``benchmarks/results/``, which holds the paper-figure
+tables only).
+
+Usage::
+
+    python benchmarks/bench_chaos.py            # full run
+    python benchmarks/bench_chaos.py --smoke    # quick CI run
+
+Exits non-zero if any invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI (fewer records)",
+    )
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_chaos.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = args.records or (600 if args.smoke else 2000)
+    batch_size = args.batch_size or (100 if args.smoke else 200)
+
+    from repro.bench.chaos import run_chaos
+
+    result = run_chaos(records=records, batch_size=batch_size)
+    result["mode"] = "smoke" if args.smoke else "full"
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"wrote {args.output}")
+    failed = []
+    for name, scenario in result["scenarios"].items():
+        checks = scenario["checks"]
+        status = "ok  " if all(checks.values()) else "FAIL"
+        faults = scenario["faults"]
+        print(
+            f"  [{status}] {name:32s} "
+            f"{scenario['throughput_records_per_sim_second']:10.0f} rec/s  "
+            f"crashes={faults['crashes']} restarts={faults['restarts']} "
+            f"dead_letters={scenario['dead_letters']} "
+            f"stored={scenario['records_stored']}/{scenario['records_ingested']}"
+        )
+        for check, passed in checks.items():
+            if not passed:
+                failed.append(f"{name}: {check}")
+    if failed:
+        for failure in failed:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,8 @@ from ..ingestion.pipelines import (
     DynamicIngestionPipeline,
     StaticIngestionPipeline,
 )
+from ..ingestion.policy import FeedPolicy
+from ..runtime.faults import FaultPlan
 from ..sqlpp.compiler import QueryCompiler, run_insert
 from ..sqlpp.evaluator import EvaluationContext, Evaluator
 from ..sqlpp.parser import parse_statements
@@ -67,6 +69,7 @@ class _FeedState:
         self.target_dataset: Optional[str] = None
         self.functions: List[AttachedFunction] = []
         self.adapter: Optional[FeedAdapter] = None
+        self.policy: Optional[FeedPolicy] = None
         self.last_report: Optional[FeedRunReport] = None
         self.running = False
 
@@ -153,7 +156,15 @@ class AsterixLite:
         feed: str,
         dataset: str,
         apply_functions: Iterable[Union[str, AttachedFunction]] = (),
+        policy: Optional[FeedPolicy] = None,
     ) -> None:
+        """Connect a feed to its target dataset.
+
+        ``policy`` (a :class:`~repro.ingestion.policy.FeedPolicy`, e.g.
+        ``FeedPolicy.spill()``) governs soft errors, congestion, and actor
+        restarts for every subsequent run of this feed; the default is the
+        fail-fast ``Basic`` policy.
+        """
         state = self._feed(feed)
         self._dataset(dataset)  # validate existence
         state.target_dataset = dataset
@@ -161,6 +172,7 @@ class AsterixLite:
             fn if isinstance(fn, AttachedFunction) else AttachedFunction(fn)
             for fn in apply_functions
         ]
+        state.policy = policy
 
     # ------------------------------------------------------------------ feeds
 
@@ -176,12 +188,18 @@ class AsterixLite:
         balanced_intake: bool = False,
         computing_model: ComputingModel = ComputingModel.PER_BATCH,
         update_client=None,
+        policy: Optional[FeedPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> FeedRunReport:
         """Run the feed to adapter exhaustion; returns the run report.
 
         The embedded execution model is synchronous: starting a feed drives
         it until the adapter's stream ends (a ``QueueAdapter`` ends when its
         producer calls ``end()``, which is the STOP FEED analog).
+
+        ``policy`` overrides the policy attached at ``connect_feed`` time
+        for this run only; ``fault_plan`` injects a deterministic schedule
+        of actor crashes/stalls/disconnects (chaos testing).
         """
         state = self._feed(feed)
         if state.target_dataset is None:
@@ -203,6 +221,8 @@ class AsterixLite:
             computing_model=computing_model,
             functions=list(state.functions),
             balanced_intake=balanced_intake,
+            policy=policy or state.policy,
+            fault_plan=fault_plan,
         )
         state.running = True
         try:

@@ -20,7 +20,19 @@ class AdmTypeError(AdmError):
 
 
 class AdmParseError(AdmError):
-    """Raw input bytes/text could not be parsed into an ADM value."""
+    """Raw input bytes/text could not be parsed into an ADM value.
+
+    Carries record provenance when the ingestion path knows it: ``seq`` is
+    the adapter-stamped sequence number (file line for a
+    :class:`~repro.ingestion.adapter.FileAdapter`), ``source`` names the
+    stage or adapter that produced the offending record.  Both default to
+    ``None`` for parses outside a feed.
+    """
+
+    def __init__(self, message, seq=None, source=None):
+        super().__init__(message)
+        self.seq = seq
+        self.source = source
 
 
 class StorageError(ReproError):
@@ -68,6 +80,20 @@ class DeadlockError(HyracksError):
     """Every live runtime process is waiting on a signal nobody can fire."""
 
 
+class InjectedCrash(HyracksError):
+    """A :class:`~repro.runtime.faults.FaultPlan` crashed a runtime process.
+
+    Thrown *into* the target process generator at the scheduled simulated
+    time.  A :class:`~repro.runtime.supervisor.Supervisor` catches it and
+    restarts the layer; an unsupervised process dies and the crash
+    propagates out of the run.
+    """
+
+    def __init__(self, fault=None):
+        super().__init__(f"injected crash: {fault!r}")
+        self.fault = fault
+
+
 class SqlppError(ReproError):
     """Base class for SQL++ front-end errors."""
 
@@ -104,6 +130,27 @@ class IngestionError(ReproError):
 
 class FeedStateError(IngestionError):
     """A feed operation was issued in the wrong lifecycle state."""
+
+
+class FeedFailedError(IngestionError):
+    """A feed run was escalated to failure by its ingestion policy
+    (soft-error escalation, circuit breaker, or exhausted supervisor
+    restarts)."""
+
+
+class CircuitBreakerError(FeedFailedError):
+    """Too many consecutive soft errors: the per-feed breaker opened."""
+
+    def __init__(self, feed_name, consecutive, limit, last_error=None):
+        super().__init__(
+            f"feed {feed_name!r}: circuit breaker opened after "
+            f"{consecutive} consecutive soft error(s) (limit {limit}); "
+            f"last error: {last_error}"
+        )
+        self.feed_name = feed_name
+        self.consecutive = consecutive
+        self.limit = limit
+        self.last_error = last_error
 
 
 class StreamingJoinError(IngestionError):

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from ...adm.parser import parse_json
+from ...errors import AdmParseError
 from ..frame import Frame
 from ..job import Operator, OperatorContext
 
@@ -99,24 +100,50 @@ class LimitOperator(Operator):
             self.emit(Frame(out))
 
 
+_ENVELOPE_KEYS = frozenset({"raw", "seq"})
+
+
 class ParseOperator(Operator):
-    """Turn raw ``{"raw": <json text>}`` envelopes into typed ADM records.
+    """Turn raw ``{"raw": <json text>, "seq": <n>}`` envelopes into typed
+    ADM records.
 
     This is the feed *parser*: in the old framework it sits right behind
     the adapter on the intake node; in the new framework it runs inside the
     computing job on every node (Fig. 23's Collector + Parser).
+
+    ``soft_errors`` (a :class:`~repro.ingestion.policy.SoftErrorHandler`)
+    governs malformed records: without one, an
+    :class:`~repro.errors.AdmParseError` — stamped with the envelope's
+    ``seq`` provenance — aborts the job, matching the seed behavior.
     """
 
-    def __init__(self, ctx: OperatorContext, datatype=None):
+    def __init__(self, ctx: OperatorContext, datatype=None, soft_errors=None):
         super().__init__(ctx)
         self.datatype = datatype
+        self.soft_errors = soft_errors
 
     def next_frame(self, frame: Frame) -> None:
         self.ctx.charge(self.ctx.cost.parse_per_record * len(frame))
         out: List[dict] = []
         for envelope in frame:
-            if isinstance(envelope, dict) and "raw" in envelope and len(envelope) == 1:
-                out.append(parse_json(envelope["raw"], self.datatype))
+            if (
+                isinstance(envelope, dict)
+                and "raw" in envelope
+                and _ENVELOPE_KEYS.issuperset(envelope)
+            ):
+                raw = envelope["raw"]
+                seq = envelope.get("seq")
+                try:
+                    out.append(parse_json(raw, self.datatype))
+                except AdmParseError as exc:
+                    exc.seq = seq
+                    exc.source = "parse"
+                    if self.soft_errors is None:
+                        raise
+                    self.soft_errors.handle("parse", raw, exc, seq=seq)
+                    continue
+                if self.soft_errors is not None:
+                    self.soft_errors.note_success()
             else:  # already parsed (in-memory short-circuit)
                 out.append(envelope)
         self.emit(Frame(out))

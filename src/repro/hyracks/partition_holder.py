@@ -40,6 +40,8 @@ class PassivePartitionHolder:
         self.pulled_records = 0
         self.high_water = 0
         self.blocked_seconds = 0.0  # producer time stalled on this holder
+        self.disconnects = 0  # injected disconnect windows waited out
+        self.disconnected_seconds = 0.0  # producer time waiting on reconnect
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -79,6 +81,13 @@ class PassivePartitionHolder:
         if seconds < 0:
             raise ValueError("blocked time cannot be negative")
         self.blocked_seconds += seconds
+
+    def note_disconnected(self, seconds: float) -> None:
+        """Charge simulated time a producer waited out a disconnect."""
+        if seconds < 0:
+            raise ValueError("disconnected time cannot be negative")
+        self.disconnects += 1
+        self.disconnected_seconds += seconds
 
     def poll_batch(self, max_records: int) -> List[dict]:
         """Pull up to ``max_records`` records, preserving FIFO order.

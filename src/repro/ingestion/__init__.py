@@ -1,6 +1,14 @@
 """The IDEA ingestion framework: static vs dynamic pipelines, feeds, AFM."""
 
-from .adapter import FeedAdapter, FileAdapter, GeneratorAdapter, QueueAdapter, chunked
+from .adapter import (
+    ADAPTER_IDLE,
+    FeedAdapter,
+    FileAdapter,
+    GeneratorAdapter,
+    QueueAdapter,
+    chunked,
+    drain_available,
+)
 from .feed import (
     AttachedFunction,
     BatchStats,
@@ -14,26 +22,40 @@ from .pipelines import (
     DynamicIngestionPipeline,
     StaticIngestionPipeline,
 )
+from .policy import (
+    CongestionAction,
+    FeedPolicy,
+    SoftErrorAction,
+    SoftErrorHandler,
+    ensure_dead_letter_dataset,
+)
 from .udf_operator import UdfEvaluatorOperator, make_invoker
 from .updates import CompositeUpdateClient, ReferenceUpdateClient
 
 __all__ = [
+    "ADAPTER_IDLE",
     "ActiveFeedManager",
     "AttachedFunction",
     "BatchStats",
     "CompositeUpdateClient",
     "ComputingModel",
+    "CongestionAction",
     "DynamicIngestionPipeline",
     "FeedAdapter",
     "FeedDefinition",
+    "FeedPolicy",
     "FeedRunReport",
     "FileAdapter",
     "Framework",
     "GeneratorAdapter",
     "QueueAdapter",
     "ReferenceUpdateClient",
+    "SoftErrorAction",
+    "SoftErrorHandler",
     "StaticIngestionPipeline",
     "UdfEvaluatorOperator",
     "chunked",
+    "drain_available",
+    "ensure_dead_letter_dataset",
     "make_invoker",
 ]

@@ -9,27 +9,51 @@ arranges it into frames.  We provide:
   ``send()``s records, the feed drains them;
 * :class:`FileAdapter` — replays newline-delimited JSON from a file.
 
-Adapters yield *envelopes* ``{"raw": <json text>}``; parsing into typed ADM
-records is a separate pipeline stage (coupled with intake in the old
-framework, moved into the computing job in the new one).
+Adapters yield *envelopes* ``{"raw": <json text>, "seq": <n>}``; ``seq``
+is the adapter-local record sequence number (the file line number for a
+:class:`FileAdapter`) and is the record's *provenance*: parse errors and
+dead-letter entries carry it so the offending input can be identified.
+Parsing into typed ADM records is a separate pipeline stage (coupled with
+intake in the old framework, moved into the computing job in the new one).
+
+A :class:`QueueAdapter` drained before ``end()`` yields the
+:data:`ADAPTER_IDLE` sentinel instead of raising: under the discrete-event
+runtime an empty-but-open queue is a *starved intake*, surfaced as idle
+time (bounded by the feed policy's ``adapter_idle_timeout_seconds``), not
+a crash.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import FeedStateError
+
+
+class _AdapterIdle:
+    """Sentinel: the adapter has no data *right now* but has not ended."""
+
+    def __repr__(self):
+        return "<ADAPTER_IDLE>"
+
+
+#: yielded by an adapter whose source is open but momentarily empty
+ADAPTER_IDLE = _AdapterIdle()
 
 
 class FeedAdapter:
     """Base adapter protocol: an iterator of raw-record envelopes."""
 
-    def envelopes(self) -> Iterator[Dict[str, str]]:
+    def envelopes(self) -> Iterator[Dict[str, object]]:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release external resources (no-op by default)."""
+        """Release external resources (no-op by default).
+
+        Feed teardown calls this exactly once, even when the pipeline
+        aborts mid-iteration.
+        """
 
 
 class GeneratorAdapter(FeedAdapter):
@@ -39,18 +63,20 @@ class GeneratorAdapter(FeedAdapter):
         self._source = iter(raw_records)
         self.received = 0
 
-    def envelopes(self) -> Iterator[Dict[str, str]]:
+    def envelopes(self) -> Iterator[Dict[str, object]]:
         for raw in self._source:
+            seq = self.received
             self.received += 1
-            yield {"raw": raw}
+            yield {"raw": raw, "seq": seq}
 
 
 class QueueAdapter(FeedAdapter):
     """Socket-style adapter: producers push, the feed drains.
 
     ``send`` enqueues one raw record; ``end`` marks the stream complete.
-    Iterating past the current queue contents before ``end`` raises — the
-    orchestrator must only pull what has arrived.
+    Iterating an empty-but-open queue yields :data:`ADAPTER_IDLE` — the
+    feed runtime accounts the starvation as idle time and applies the
+    policy's idle timeout, rather than crashing the pipeline.
     """
 
     def __init__(self):
@@ -74,33 +100,69 @@ class QueueAdapter(FeedAdapter):
     def pending(self) -> int:
         return len(self._queue)
 
-    def envelopes(self) -> Iterator[Dict[str, str]]:
+    def envelopes(self) -> Iterator[Dict[str, object]]:
         while True:
             if self._queue:
+                seq = self.received
                 self.received += 1
-                yield {"raw": self._queue.popleft()}
+                yield {"raw": self._queue.popleft(), "seq": seq}
             elif self._ended:
                 return
             else:
-                raise FeedStateError(
-                    "queue adapter drained before end(); push data or end the feed"
-                )
+                yield ADAPTER_IDLE
 
 
 class FileAdapter(FeedAdapter):
-    """Replays newline-delimited JSON records from a file."""
+    """Replays newline-delimited JSON records from a file.
+
+    ``seq`` on each envelope is the 1-based file line number.  The file
+    handle is released when iteration completes, when the generator is
+    closed mid-iteration (``GeneratorExit``), or when feed teardown calls
+    :meth:`close` — whichever comes first.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self.received = 0
+        self._handle = None
 
-    def envelopes(self) -> Iterator[Dict[str, str]]:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+    def envelopes(self) -> Iterator[Dict[str, object]]:
+        handle = open(self.path, "r", encoding="utf-8")
+        self._handle = handle
+        try:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if line:
                     self.received += 1
-                    yield {"raw": line}
+                    yield {"raw": line, "seq": line_number}
+        finally:
+            handle.close()
+            if self._handle is handle:
+                self._handle = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._handle is not None and not self._handle.closed
+
+    def close(self) -> None:
+        """Release the file handle if a pipeline aborted mid-iteration."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def drain_available(adapter: FeedAdapter) -> List[Dict[str, object]]:
+    """Collect every envelope available *now*, stopping at the first idle.
+
+    The static pipeline is synchronous: nothing can arrive after it starts
+    draining, so an idle-but-open adapter simply contributes what it has.
+    """
+    envelopes: List[Dict[str, object]] = []
+    for envelope in adapter.envelopes():
+        if envelope is ADAPTER_IDLE:
+            break
+        envelopes.append(envelope)
+    return envelopes
 
 
 def chunked(iterator: Iterator, size: int) -> Iterator[List]:

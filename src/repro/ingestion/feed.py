@@ -7,7 +7,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..runtime.metrics import RuntimeMetrics
+    from ..runtime.faults import FaultPlan
+    from ..runtime.metrics import FaultMetrics, RuntimeMetrics
+    from .policy import FeedPolicy
 
 
 class Framework(enum.Enum):
@@ -55,6 +57,11 @@ class FeedDefinition:
     stream_memory_budget: int = 1 << 20  # records; Model 3 spill threshold
     reference_work_scale: float = 1.0  # charge ref work as if x larger
     storage_queue_capacity: int = 8  # computing->storage work items in flight
+    #: fault handling: soft errors, congestion, restarts (None = Basic,
+    #: i.e. the fail-fast seed behavior)
+    policy: Optional["FeedPolicy"] = None
+    #: deterministic injected-fault schedule (None = no faults)
+    fault_plan: Optional["FaultPlan"] = None
 
 
 @dataclass
@@ -103,6 +110,11 @@ class FeedRunReport:
         if seconds <= 0:
             return 0.0
         return self.records_ingested / seconds
+
+    @property
+    def faults(self) -> Optional["FaultMetrics"]:
+        """This run's failure/recovery counters (``None`` if no fault layer)."""
+        return self.runtime.faults if self.runtime is not None else None
 
     @property
     def refresh_period(self) -> float:

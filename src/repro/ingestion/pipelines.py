@@ -43,17 +43,32 @@ from ..hyracks.job import JobSpecification, OperatorDescriptor
 from ..hyracks.operators import DatasetWriteSink, ListSource, ParseOperator
 from ..hyracks.operators.sinks import CallbackSink
 from ..hyracks.partition_holder import ActivePartitionHolder, PassivePartitionHolder
-from ..runtime import Advance, Channel, IntakeBuffer, RuntimeMetrics
+from ..runtime import (
+    Advance,
+    Channel,
+    FaultMetrics,
+    IDLE,
+    IntakeBuffer,
+    RuntimeMetrics,
+    Supervisor,
+)
 from ..sqlpp.analysis import dataset_references
 from ..sqlpp.evaluator import EvaluationContext
 from ..storage.dataset import hash_partition
-from .adapter import FeedAdapter
+from .adapter import ADAPTER_IDLE, FeedAdapter, drain_available
 from .feed import (
     BatchStats,
     ComputingModel,
     FeedDefinition,
     FeedRunReport,
     Framework,
+)
+from .policy import (
+    DEFAULT_POLICY,
+    FeedPolicy,
+    SoftErrorAction,
+    SoftErrorHandler,
+    ensure_dead_letter_dataset,
 )
 from .udf_operator import UdfEvaluatorOperator, make_invoker
 
@@ -195,37 +210,95 @@ class _IntakeLayer:
                 )
         return frames
 
-    def process(self, adapter: FeedAdapter, buffer: IntakeBuffer, chunk_size: int):
-        """Runtime process: draw chunks, deposit frames, block when full.
+    def make_body(
+        self,
+        adapter: FeedAdapter,
+        buffer: IntakeBuffer,
+        chunk_size: int,
+        policy: FeedPolicy,
+        faults: FaultMetrics,
+    ):
+        """Build the intake actor's restartable body factory.
+
+        The returned factory is invoked once for the first run and once
+        per supervisor restart; drawn-but-undelivered envelopes and frames
+        live in closure state, so a crash mid-deposit replays them instead
+        of losing them (at-least-once — duplicates resolve downstream via
+        primary-key upsert).
 
         ``buffer.put`` suspends this process (accounted as *blocked*) while
         the target holder is full — backpressure propagates to the adapter
-        instead of force-appending past the holder's bound.
+        instead of force-appending past the holder's bound.  An idle-but-
+        open adapter (a :class:`QueueAdapter` drained before ``end()``)
+        surfaces as accounted idle time, bounded by the policy's
+        ``adapter_idle_timeout_seconds``.
         """
         source = adapter.envelopes()
-        exhausted = False
-        advanced = 0.0
-        while not exhausted:
-            chunk: List[dict] = []
-            try:
-                while len(chunk) < chunk_size:
-                    chunk.append(next(source))
-            except StopIteration:
-                exhausted = True
-            if not chunk:
-                break
-            frames = self._receive(chunk)
-            delta = self.max_busy - advanced
-            advanced = self.max_busy
-            if delta > 0:
-                yield Advance(delta)
-            for target, frame in frames:
-                yield from buffer.put(target, frame)
-            # Batch boundary: yield the slice so a waiting computing
-            # process evaluates this chunk's batch before the adapter
-            # draws (and side-effects) the next chunk.
-            yield Advance(0.0)
-        buffer.end()
+        state = {
+            "exhausted": False,
+            "advanced": 0.0,
+            "chunk": None,  # envelopes drawn but not yet framed
+            "pending": None,  # (target, frame) pairs not yet delivered
+            "idle": 0.0,
+            "ended": False,
+        }
+        poll = policy.adapter_idle_poll_seconds
+        timeout = policy.adapter_idle_timeout_seconds
+
+        def body():
+            while True:
+                if state["pending"] is None:
+                    if state["exhausted"]:
+                        break
+                    if state["chunk"] is None:
+                        state["chunk"] = []
+                    chunk = state["chunk"]
+                    while len(chunk) < chunk_size:
+                        try:
+                            item = next(source)
+                        except StopIteration:
+                            state["exhausted"] = True
+                            break
+                        if item is ADAPTER_IDLE:
+                            if chunk:
+                                break  # deliver what we have before idling
+                            if timeout is not None and state["idle"] >= timeout:
+                                faults.idle_timeouts += 1
+                                state["exhausted"] = True
+                                break
+                            state["idle"] += poll
+                            yield Advance(poll, state=IDLE)
+                            continue
+                        state["idle"] = 0.0
+                        chunk.append(item)
+                    if not chunk:
+                        if state["exhausted"]:
+                            break
+                        continue
+                    frames = self._receive(chunk)
+                    state["chunk"] = None
+                    # Stash undelivered frames *before* consuming sim time:
+                    # a crash from here on replays them.
+                    state["pending"] = list(frames)
+                    delta = self.max_busy - state["advanced"]
+                    state["advanced"] = self.max_busy
+                    if delta > 0:
+                        yield Advance(delta)
+                pending = state["pending"]
+                while pending:
+                    target, frame = pending[0]
+                    yield from buffer.put(target, frame)
+                    pending.pop(0)
+                state["pending"] = None
+                # Batch boundary: yield the slice so a waiting computing
+                # process evaluates this chunk's batch before the adapter
+                # draws (and side-effects) the next chunk.
+                yield Advance(0.0)
+            if not state["ended"]:
+                state["ended"] = True
+                buffer.end()
+
+        return body
 
     @property
     def queued(self) -> int:
@@ -306,6 +379,12 @@ class StaticIngestionPipeline:
                     evaluator._scan_dataset(self.catalog[name])
 
     def run(self, feed: FeedDefinition, adapter: FeedAdapter) -> FeedRunReport:
+        try:
+            return self._run(feed, adapter)
+        finally:
+            adapter.close()
+
+    def _run(self, feed: FeedDefinition, adapter: FeedAdapter) -> FeedRunReport:
         if feed.functions and self.registry is None:
             raise IngestionError("a function registry is required for UDF feeds")
         if feed.functions:
@@ -314,6 +393,15 @@ class StaticIngestionPipeline:
         cluster = self.cluster
         n = cluster.num_nodes
         cost = cluster.cost_model
+
+        policy = feed.policy or DEFAULT_POLICY
+        faults = FaultMetrics()
+        dead_letters = None
+        if policy.on_soft_error is SoftErrorAction.DEAD_LETTER:
+            dead_letters = ensure_dead_letter_dataset(
+                self.catalog, feed.name, policy, num_partitions=n
+            )
+        soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
 
         # One evaluation context for the whole feed: the stream model.
         # Stateful state (reference-data snapshots, Java resource files) is
@@ -328,7 +416,9 @@ class StaticIngestionPipeline:
         invoker = make_invoker(feed.functions, self.registry) if feed.functions else None
         self._prewarm_stream_state(feed, eval_ctx)
 
-        envelopes = list(adapter.envelopes())
+        # Synchronous drain: an idle-but-open adapter contributes what it
+        # has *now* instead of raising (or spinning) mid-job.
+        envelopes = drain_available(adapter)
         intake_nodes = list(range(n)) if feed.balanced_intake else [0]
         slices: List[List[dict]] = [[] for _ in intake_nodes]
         for i, envelope in enumerate(envelopes):
@@ -350,7 +440,9 @@ class StaticIngestionPipeline:
         parse = spec.add_operator(
             OperatorDescriptor(
                 "parser",
-                lambda ctx: ParseOperator(ctx, feed.datatype),
+                lambda ctx: ParseOperator(
+                    ctx, feed.datatype, soft_errors=soft_errors
+                ),
                 partitions=len(intake_nodes),
                 nodes=intake_nodes,
             )
@@ -361,7 +453,9 @@ class StaticIngestionPipeline:
             udf = spec.add_operator(
                 OperatorDescriptor(
                     "udf-evaluator",
-                    lambda ctx: UdfEvaluatorOperator(ctx, eval_ctx, invoker),
+                    lambda ctx: UdfEvaluatorOperator(
+                        ctx, eval_ctx, invoker, soft_errors=soft_errors
+                    ),
                     partitions=n,
                 )
             )
@@ -436,7 +530,7 @@ class StaticIngestionPipeline:
             + shared_seconds / n
             + replicated_seconds,
         )
-        report.runtime = RuntimeMetrics.from_runtime(runtime)
+        report.runtime = RuntimeMetrics.from_runtime(runtime, faults=faults)
         return report
 
 
@@ -507,6 +601,15 @@ class DynamicIngestionPipeline:
         if feed.computing_model is ComputingModel.PER_RECORD:
             batch_size = 1
 
+        policy = feed.policy or DEFAULT_POLICY
+        faults = FaultMetrics()
+        dead_letters = None
+        if policy.on_soft_error is SoftErrorAction.DEAD_LETTER:
+            dead_letters = ensure_dead_letter_dataset(
+                self.catalog, feed.name, policy, num_partitions=n
+            )
+        soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
+
         intake = _IntakeLayer(cluster, feed)
         storage = _StorageLayer(cluster, dataset, feed.write_mode)
         eval_ctx = EvaluationContext(
@@ -536,7 +639,9 @@ class DynamicIngestionPipeline:
             parse = spec.add_operator(
                 OperatorDescriptor(
                     "parser",
-                    lambda ctx: ParseOperator(ctx, feed.datatype),
+                    lambda ctx: ParseOperator(
+                        ctx, feed.datatype, soft_errors=soft_errors
+                    ),
                     partitions=n,
                 )
             )
@@ -546,7 +651,9 @@ class DynamicIngestionPipeline:
                 udf = spec.add_operator(
                     OperatorDescriptor(
                         "udf-evaluator",
-                        lambda ctx: UdfEvaluatorOperator(ctx, eval_ctx, invoker),
+                        lambda ctx: UdfEvaluatorOperator(
+                            ctx, eval_ctx, invoker, soft_errors=soft_errors
+                        ),
                         partitions=n,
                     )
                 )
@@ -568,14 +675,17 @@ class DynamicIngestionPipeline:
             return self._drive(
                 feed, adapter, intake, storage, eval_ctx, batch_size,
                 update_client, predeploy, decoupled, spec_builder, collected,
+                policy, faults, soft_errors,
             )
         finally:
             # a failing UDF or adapter must not leak the feed's runtime
-            # state: the AFM entry, the predeployed job, or the registered
-            # intake/storage partition holders
+            # state: the AFM entry, the predeployed job, the registered
+            # intake/storage partition holders, or the adapter's external
+            # resources (e.g. a FileAdapter's handle)
             self.afm.deregister_feed(feed.name)
             intake.close()
             storage.close()
+            adapter.close()
 
     def _drive(
         self,
@@ -590,6 +700,9 @@ class DynamicIngestionPipeline:
         decoupled: bool,
         spec_builder,
         collected: List[List[dict]],
+        policy: FeedPolicy,
+        faults: FaultMetrics,
+        soft_errors: SoftErrorHandler,
     ) -> FeedRunReport:
         cluster = self.cluster
         n = cluster.num_nodes
@@ -607,7 +720,15 @@ class DynamicIngestionPipeline:
 
         run_name = f"feed-{feed.name}"
         runtime = cluster.new_runtime(run_name)
-        buffer = IntakeBuffer(runtime, intake.holders)
+        runtime.install_fault_plan(feed.fault_plan)
+        buffer = IntakeBuffer(
+            runtime,
+            intake.holders,
+            congestion=policy.on_congestion.value,
+            throttle_seconds=policy.throttle_seconds,
+            throttle_max_seconds=policy.throttle_max_seconds,
+            faults=faults,
+        )
         storage_channel = (
             Channel(runtime, feed.storage_queue_capacity, name=f"{run_name}.storage")
             if decoupled
@@ -615,13 +736,22 @@ class DynamicIngestionPipeline:
         )
         state = {"computing_total": 0.0, "coupled_extra": 0.0}
         batch_latencies: List[float] = []
+        #: the un-acked batch: set when pulled from the intake buffer,
+        #: cleared only after the storage hand-off — a computing-job crash
+        #: in between replays it (at-least-once; upsert dedupes)
+        inflight = {"batch": None, "ended": False}
 
-        def computing_process():
+        def computing_body():
             """The AFM loop: collect a batch, invoke, hand off to storage."""
             while True:
-                batch = yield from buffer.collect(batch_size)
-                if batch is None:
-                    break
+                if inflight["batch"] is not None:
+                    batch = inflight["batch"]
+                    faults.records_replayed += sum(len(p) for p in batch)
+                else:
+                    batch = yield from buffer.collect(batch_size)
+                    if batch is None:
+                        break
+                    inflight["batch"] = batch
                 total = sum(len(p) for p in batch)
                 for p in range(n):
                     collected[p] = []
@@ -673,18 +803,23 @@ class DynamicIngestionPipeline:
                 )
                 if update_client is not None:
                     update_client.advance(makespan)
-            if storage_channel is not None:
-                storage_channel.end()
+                inflight["batch"] = None  # acked: storage owns it now
+            if not inflight["ended"]:
+                inflight["ended"] = True
+                if storage_channel is not None:
+                    storage_channel.end()
 
-        runtime.spawn(
+        supervisor = Supervisor(runtime, policy.restart_policy())
+        supervisor.spawn(
             f"{run_name}.intake",
-            intake.process(adapter, buffer, batch_size),
+            intake.make_body(adapter, buffer, batch_size, policy, faults),
             layer="intake",
         )
-        runtime.spawn(f"{run_name}.computing", computing_process(), layer="computing")
+        supervisor.spawn(f"{run_name}.computing", computing_body, layer="computing")
         if decoupled:
-            runtime.spawn(
-                f"{run_name}.storage", storage.process(storage_channel),
+            supervisor.spawn(
+                f"{run_name}.storage",
+                lambda: storage.process(storage_channel),
                 layer="storage",
             )
 
@@ -693,6 +828,12 @@ class DynamicIngestionPipeline:
             elapsed = runtime.run()
         finally:
             cluster.controller.finish_run(run_name)
+            faults.crashes = runtime.injected_crashes
+            faults.restarts = supervisor.total_restarts
+            faults.backoff_seconds = supervisor.total_backoff_seconds
+            faults.stall_seconds = runtime.injected_stall_seconds
+            if storage_channel is not None:
+                faults.channel_send_failures = storage_channel.send_failures
 
         computing_total = state["computing_total"]
         report.records_ingested = intake.records_received
@@ -722,5 +863,6 @@ class DynamicIngestionPipeline:
             + (storage_channel.stalls if storage_channel is not None else 0),
             batch_latencies=batch_latencies,
             steady_state_seconds=steady,
+            faults=faults,
         )
         return report

@@ -70,14 +70,18 @@ class UdfEvaluatorOperator(Operator):
         ctx: OperatorContext,
         eval_ctx: EvaluationContext,
         invoker: Callable,
+        soft_errors=None,
     ):
         super().__init__(ctx)
         self.eval_ctx = eval_ctx
         self.invoker = invoker
+        self.soft_errors = soft_errors
         self.records_in = 0
         self.records_out = 0
 
     def next_frame(self, frame: Frame) -> None:
+        import json as _json
+
         meter = WorkMeter(scale=self.eval_ctx.reference_work_scale)
         previous_meter = self.eval_ctx.meter
         self.eval_ctx.meter = meter
@@ -85,7 +89,21 @@ class UdfEvaluatorOperator(Operator):
         try:
             for record in frame:
                 self.records_in += 1
-                enriched = self.invoker(record, self.eval_ctx)
+                if self.soft_errors is None:
+                    enriched = self.invoker(record, self.eval_ctx)
+                else:
+                    # Per-record UDF evaluation failures are soft errors:
+                    # the policy decides skip / dead-letter / escalate.
+                    try:
+                        enriched = self.invoker(record, self.eval_ctx)
+                    except Exception as exc:
+                        self.soft_errors.handle(
+                            "udf",
+                            _json.dumps(record, default=str, sort_keys=True),
+                            exc,
+                        )
+                        continue
+                    self.soft_errors.note_success()
                 out.extend(enriched)
                 self.records_out += len(enriched)
         finally:

@@ -16,11 +16,30 @@ closed-form arithmetic:
   holders) with *real* blocking backpressure;
 * :class:`RuntimeMetrics` — the observability snapshot: per-layer
   busy/idle/blocked timelines, holder high-water marks, stall counts,
-  and batch-latency histograms.
+  and batch-latency histograms;
+* :class:`FaultPlan` — a deterministic schedule of injected faults
+  (actor crashes, slow-consumer stalls, transient channel-send failures,
+  partition-holder disconnects) consulted by the kernel on the simulated
+  clock;
+* :class:`Supervisor` — monitors layer actors and restarts crashed ones
+  with bounded retries and exponential backoff on the simulated clock.
 """
 
-from .channel import Channel, IntakeBuffer
+from .channel import (
+    CONGESTION_BLOCK,
+    CONGESTION_DISCARD,
+    CONGESTION_THROTTLE,
+    Channel,
+    IntakeBuffer,
+)
 from .clock import Clock
+from .faults import (
+    ChannelSendFailure,
+    CrashAt,
+    FaultPlan,
+    HolderDisconnect,
+    StallAt,
+)
 from .kernel import (
     BLOCKED,
     BUSY,
@@ -31,21 +50,34 @@ from .kernel import (
     Signal,
     Wait,
 )
-from .metrics import HolderStats, LayerTimes, RuntimeMetrics
+from .metrics import FaultMetrics, HolderStats, LayerTimes, RuntimeMetrics
+from .supervisor import RestartPolicy, SupervisedStats, Supervisor
 
 __all__ = [
     "Advance",
     "BLOCKED",
     "BUSY",
+    "CONGESTION_BLOCK",
+    "CONGESTION_DISCARD",
+    "CONGESTION_THROTTLE",
     "Channel",
+    "ChannelSendFailure",
     "Clock",
+    "CrashAt",
+    "FaultMetrics",
+    "FaultPlan",
+    "HolderDisconnect",
     "HolderStats",
     "IDLE",
     "IntakeBuffer",
     "LayerTimes",
     "Process",
+    "RestartPolicy",
     "Runtime",
     "RuntimeMetrics",
     "Signal",
+    "StallAt",
+    "SupervisedStats",
+    "Supervisor",
     "Wait",
 ]

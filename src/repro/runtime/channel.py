@@ -25,7 +25,15 @@ from typing import Deque, List, Optional, Sequence
 from ..errors import PartitionHolderError
 from ..hyracks.frame import Frame
 from ..hyracks.partition_holder import PassivePartitionHolder
-from .kernel import BLOCKED, IDLE, Runtime, Wait
+from .kernel import Advance, BLOCKED, IDLE, Runtime, Wait
+from .metrics import FaultMetrics
+
+#: congestion reactions an :class:`IntakeBuffer` can apply when a holder
+#: is full (the ingestion policy's congestion knob, lowered to strings so
+#: the runtime layer stays independent of the ingestion package)
+CONGESTION_BLOCK = "block"
+CONGESTION_DISCARD = "discard"
+CONGESTION_THROTTLE = "throttle"
 
 
 class Channel:
@@ -44,6 +52,7 @@ class Channel:
         self.stalls = 0  # producer block events (backpressure)
         self.high_water = 0
         self.put_count = 0
+        self.send_failures = 0  # injected transient failures (retried)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -53,9 +62,22 @@ class Channel:
         return self._eof
 
     def put(self, item):
-        """Coroutine: enqueue ``item``, blocking while the channel is full."""
+        """Coroutine: enqueue ``item``, blocking while the channel is full.
+
+        An installed :class:`~repro.runtime.faults.FaultPlan` can make a
+        specific send fail transiently: the sender waits out the retry
+        delay (blocked) and the resend succeeds — at-least-once, nothing
+        lost.
+        """
         if self._eof:
             raise PartitionHolderError(f"channel {self.name} is closed")
+        plan = self.runtime.fault_plan
+        if plan is not None:
+            failure = plan.channel_put_failure(self.name, self.put_count)
+            if failure is not None:
+                self.send_failures += 1
+                if failure.retry_seconds > 0:
+                    yield Advance(failure.retry_seconds, state=BLOCKED)
         stalled = False
         while len(self._items) >= self.capacity:
             if not stalled:
@@ -90,9 +112,25 @@ class IntakeBuffer:
     the consumer collects record batches balanced across all of them.
     """
 
-    def __init__(self, runtime: Runtime, holders: Sequence[PassivePartitionHolder]):
+    def __init__(
+        self,
+        runtime: Runtime,
+        holders: Sequence[PassivePartitionHolder],
+        congestion: str = CONGESTION_BLOCK,
+        throttle_seconds: float = 0.01,
+        throttle_max_seconds: float = 0.64,
+        faults: Optional[FaultMetrics] = None,
+    ):
+        if congestion not in (
+            CONGESTION_BLOCK, CONGESTION_DISCARD, CONGESTION_THROTTLE
+        ):
+            raise ValueError(f"unknown congestion mode: {congestion!r}")
         self.runtime = runtime
         self.holders = list(holders)
+        self.congestion = congestion
+        self.throttle_seconds = throttle_seconds
+        self.throttle_max_seconds = throttle_max_seconds
+        self.faults = faults
         self._data_ready = runtime.signal("intake.data_ready")
         self._space_freed = runtime.signal("intake.space_freed")
         self.stalls = 0  # distinct producer block events
@@ -100,20 +138,58 @@ class IntakeBuffer:
 
     # --------------------------------------------------------------- producer
 
-    def put(self, target: int, frame: Frame):
-        """Coroutine: offer ``frame`` to holder ``target``, blocking when full.
+    def _wait_out_disconnect(self, holder: PassivePartitionHolder):
+        """Coroutine: block while the target holder is disconnected."""
+        plan = self.runtime.fault_plan
+        if plan is None:
+            return
+        while True:
+            now = self.runtime.clock.now - self.runtime.epoch
+            until = plan.holder_disconnected_until(
+                holder.holder_id, holder.partition, now
+            )
+            if until is None:
+                return
+            if self.faults is not None:
+                self.faults.disconnect_waits += 1
+            holder.note_disconnected(until - now)
+            yield Advance(until - now, state=BLOCKED)
 
-        Every failed offer is metered by the holder (``rejected``); the
-        block duration is charged to the holder's ``blocked_seconds``.
+    def put(self, target: int, frame: Frame):
+        """Coroutine: offer ``frame`` to holder ``target``; congestion is
+        handled per the feed's policy.
+
+        * ``block`` (default) — wait for space, accounted as backpressure;
+        * ``discard`` — drop the frame and count it (lossy by contract);
+        * ``throttle`` — retry with exponentially growing admission delays
+          instead of waiting on the consumer's signal.
+
+        Every failed offer is metered by the holder (``rejected``); block
+        durations are charged to the holder's ``blocked_seconds``.  A
+        holder disconnected by the fault plan is waited out first.
         """
         holder = self.holders[target]
+        yield from self._wait_out_disconnect(holder)
         stalled_at: Optional[float] = None
+        delay = self.throttle_seconds
         while not holder.offer(frame):
             if stalled_at is None:
                 self.stalls += 1
                 stalled_at = self.runtime.clock.now
+            if self.congestion == CONGESTION_DISCARD:
+                if self.faults is not None:
+                    self.faults.frames_dropped += 1
+                    self.faults.records_discarded += len(frame)
+                self.producer_blocked = False
+                return
             self.producer_blocked = True
-            yield Wait(self._space_freed, state=BLOCKED)
+            if self.congestion == CONGESTION_THROTTLE:
+                if self.faults is not None:
+                    self.faults.throttle_seconds += delay
+                yield Advance(delay, state=BLOCKED)
+                delay = min(delay * 2, self.throttle_max_seconds)
+            else:
+                yield Wait(self._space_freed, state=BLOCKED)
         if stalled_at is not None:
             holder.note_blocked(self.runtime.clock.now - stalled_at)
         self.producer_blocked = False

@@ -1,0 +1,183 @@
+"""Deterministic fault injection: the :class:`FaultPlan`.
+
+Every failure scenario is a *schedule on the simulated clock*, not a flaky
+test: a plan lists crashes of layer actors, slow-consumer stalls,
+transient channel-send failures, and partition-holder disconnects, each
+pinned to a simulated time (or a send index).  The runtime kernel consults
+the installed plan while scheduling, so two runs with the same plan and
+the same workload produce byte-identical event orders, metrics, and fault
+counters.
+
+A plan is immutable and stateless: all mutable bookkeeping (which stalls
+already fired, per-channel put counters) lives on the runtime or channel
+consuming it, so one plan object can drive many runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+def _matches(target: str, process_name: str, layer: str) -> bool:
+    """A fault target names a layer, a full process name, or a suffix."""
+    return (
+        target == layer
+        or target == process_name
+        or process_name.endswith(target)
+    )
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Crash the targeted layer actor at simulated time ``at``."""
+
+    at: float
+    target: str  # layer name ('computing'), process name, or name suffix
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("crash time cannot be negative")
+
+
+@dataclass(frozen=True)
+class StallAt:
+    """Stall the targeted actor for ``duration`` sim seconds at/after ``at``.
+
+    Models a slow consumer: the first time the target would resume at or
+    after ``at``, its resume is delayed by ``duration`` and the delay is
+    accounted as *blocked* time.
+    """
+
+    at: float
+    target: str
+    duration: float
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration < 0:
+            raise ValueError("stall time/duration cannot be negative")
+
+
+@dataclass(frozen=True)
+class ChannelSendFailure:
+    """The ``put_index``-th put on a matching channel fails transiently.
+
+    The sender retries after ``retry_seconds`` (accounted as blocked) and
+    the retry succeeds — a dropped-then-resent frame, not a lost one.
+    """
+
+    channel: str  # channel-name substring, e.g. '.storage'
+    put_index: int  # 0-based index of the failing put() call
+    retry_seconds: float = 0.01
+
+
+@dataclass(frozen=True)
+class HolderDisconnect:
+    """Partition holder ``holder_id``[``partition``] is unreachable during
+    ``[at, at + duration)``; producers wait out the disconnect (blocked)."""
+
+    holder_id: str  # holder-id substring, e.g. 'intake-F'
+    partition: int
+    at: float
+    duration: float
+
+
+class FaultPlan:
+    """An immutable, reproducible schedule of injected faults."""
+
+    def __init__(
+        self,
+        crashes: Sequence[CrashAt] = (),
+        stalls: Sequence[StallAt] = (),
+        channel_failures: Sequence[ChannelSendFailure] = (),
+        disconnects: Sequence[HolderDisconnect] = (),
+        seed: int = 0,
+    ):
+        self.crashes: Tuple[CrashAt, ...] = tuple(crashes)
+        self.stalls: Tuple[StallAt, ...] = tuple(stalls)
+        self.channel_failures: Tuple[ChannelSendFailure, ...] = tuple(
+            channel_failures
+        )
+        self.disconnects: Tuple[HolderDisconnect, ...] = tuple(disconnects)
+        self.seed = seed
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes or self.stalls or self.channel_failures or self.disconnects
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def crashes_for(self, process_name: str, layer: str) -> List[CrashAt]:
+        return [
+            c for c in self.crashes if _matches(c.target, process_name, layer)
+        ]
+
+    def stalls_for(self, process_name: str, layer: str) -> List[Tuple[int, StallAt]]:
+        """Matching stalls with their plan indices (for consumed-tracking)."""
+        return [
+            (i, s)
+            for i, s in enumerate(self.stalls)
+            if _matches(s.target, process_name, layer)
+        ]
+
+    def channel_put_failure(
+        self, channel_name: str, put_index: int
+    ) -> Optional[ChannelSendFailure]:
+        for failure in self.channel_failures:
+            if failure.channel in channel_name and failure.put_index == put_index:
+                return failure
+        return None
+
+    def holder_disconnected_until(
+        self, holder_id: str, partition: int, now: float
+    ) -> Optional[float]:
+        """End time of a disconnect covering ``now``, or ``None``."""
+        until = None
+        for d in self.disconnects:
+            if d.holder_id in holder_id and d.partition == partition:
+                if d.at <= now < d.at + d.duration:
+                    end = d.at + d.duration
+                    until = end if until is None else max(until, end)
+        return until
+
+    # ------------------------------------------------------------ generation
+
+    @classmethod
+    def generated(
+        cls,
+        seed: int,
+        horizon_seconds: float,
+        crash_targets: Sequence[str] = ("computing",),
+        num_crashes: int = 1,
+        num_stalls: int = 0,
+        stall_targets: Sequence[str] = ("storage",),
+        stall_duration: float = 0.05,
+    ) -> "FaultPlan":
+        """A pseudo-random but fully seed-determined fault schedule."""
+        rng = random.Random(seed)
+        crashes = [
+            CrashAt(
+                at=rng.uniform(0.1, max(0.2, horizon_seconds)),
+                target=crash_targets[rng.randrange(len(crash_targets))],
+            )
+            for _ in range(num_crashes)
+        ]
+        stalls = [
+            StallAt(
+                at=rng.uniform(0.1, max(0.2, horizon_seconds)),
+                target=stall_targets[rng.randrange(len(stall_targets))],
+                duration=stall_duration,
+            )
+            for _ in range(num_stalls)
+        ]
+        return cls(crashes=crashes, stalls=stalls, seed=seed)
+
+    def __repr__(self):
+        return (
+            f"<FaultPlan crashes={len(self.crashes)} stalls={len(self.stalls)} "
+            f"channel_failures={len(self.channel_failures)} "
+            f"disconnects={len(self.disconnects)} seed={self.seed}>"
+        )

@@ -14,6 +14,14 @@ deterministic and side effects executed by process code interleave in the
 same order the simulated schedule says they happen.  If every remaining
 process is waiting on a signal nobody can fire, the run aborts with a
 :class:`~repro.errors.DeadlockError` naming the stuck processes.
+
+Fault injection: an installed :class:`~repro.runtime.faults.FaultPlan`
+adds *interrupt* events to the schedule.  A scheduled crash throws
+:class:`~repro.errors.InjectedCrash` into the target process at its
+simulated time (cancelling the process's pending resume or wait via a
+resume token), and a scheduled stall delays the target's next resume by
+the stall duration, accounted as blocked time.  Because interrupts ride
+the same deterministic event heap, a faulty run replays identically.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..errors import DeadlockError, SchedulingError
+from ..errors import DeadlockError, InjectedCrash, SchedulingError
 from .clock import Clock
 
 #: process accounting states
@@ -64,22 +72,27 @@ class Signal:
     def __init__(self, runtime: "Runtime", name: str):
         self._runtime = runtime
         self.name = name
-        self._waiters: List["Process"] = []
+        self._waiters: List[Tuple["Process", int]] = []
         self.notifications = 0
 
     def wait(self, process: "Process") -> None:
-        self._waiters.append(process)
+        # Capture the resume token: an interrupt (injected crash) that
+        # fires while this process waits invalidates the registration, so
+        # a later notify cannot resume a generator mid-restart.
+        self._waiters.append((process, process._token))
 
     def notify_all(self) -> None:
-        """Schedule every waiter to resume now (FIFO order)."""
+        """Schedule every still-valid waiter to resume now (FIFO order)."""
         self.notifications += 1
         waiters, self._waiters = self._waiters, []
-        for process in waiters:
+        for process, token in waiters:
+            if process.done or token != process._token:
+                continue
             self._runtime._schedule(self._runtime.clock.now, process)
 
     @property
     def waiter_names(self) -> List[str]:
-        return [w.name for w in self._waiters]
+        return [w.name for w, _token in self._waiters]
 
     def __repr__(self):
         return f"<Signal {self.name} waiters={self.waiter_names}>"
@@ -105,6 +118,10 @@ class Process:
         self._epoch = epoch
         self._pending_state: Optional[str] = None
         self._suspended_at = 0.0
+        #: resume token: bumped on every schedule and every interrupt, so
+        #: stale heap entries and stale signal waits are skipped
+        self._token = 0
+        self.crashes_received = 0
 
     def _suspend(self, now: float, state: str) -> None:
         self._pending_state = state
@@ -138,19 +155,39 @@ class Process:
 class Runtime:
     """A deterministic discrete-event scheduler over a shared clock."""
 
-    def __init__(self, clock: Optional[Clock] = None, name: str = "runtime"):
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        name: str = "runtime",
+        fault_plan=None,
+    ):
         self.clock = clock or Clock()
         self.name = name
         self.epoch = self.clock.now
         self.processes: List[Process] = []
-        self._heap: List[Tuple[float, int, Process]] = []
+        # heap entries: (at, seq, process, token, throw_exc).  token is the
+        # process's resume token (stale entries are skipped) or None for
+        # interrupt entries, which fire regardless of pending resumes.
+        self._heap: List[Tuple[float, int, Process, Optional[int], Optional[BaseException]]] = []
         self._seq = 0
         self._finished = False
+        self.fault_plan = fault_plan
+        self._consumed_stalls: set = set()
+        self.injected_crashes = 0
+        self.injected_stall_seconds = 0.0
 
     # ---------------------------------------------------------------- wiring
 
     def signal(self, name: str) -> Signal:
         return Signal(self, name)
+
+    def install_fault_plan(self, fault_plan) -> None:
+        """Attach a :class:`~repro.runtime.faults.FaultPlan` to this run.
+
+        Must happen before the targeted processes are spawned — crash
+        events are materialized at spawn time.
+        """
+        self.fault_plan = fault_plan
 
     def spawn(
         self, name: str, generator: Generator, layer: Optional[str] = None
@@ -159,11 +196,22 @@ class Runtime:
         process = Process(name, generator, layer=layer, epoch=self.epoch)
         self.processes.append(process)
         self._schedule(self.clock.now, process)
+        if self.fault_plan is not None:
+            for crash in self.fault_plan.crashes_for(process.name, process.layer):
+                self.interrupt_at(
+                    self.epoch + crash.at, process, InjectedCrash(crash)
+                )
         return process
 
     def _schedule(self, at: float, process: Process) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (at, self._seq, process))
+        process._token += 1
+        heapq.heappush(self._heap, (at, self._seq, process, process._token, None))
+
+    def interrupt_at(self, at: float, process: Process, exc: BaseException) -> None:
+        """Schedule ``exc`` to be thrown into ``process`` at sim time ``at``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, process, None, exc))
 
     # --------------------------------------------------------------- running
 
@@ -175,13 +223,33 @@ class Runtime:
         cluster state.
         """
         while self._heap:
-            at, _seq, process = heapq.heappop(self._heap)
+            at, _seq, process, token, exc = heapq.heappop(self._heap)
             if process.done:
                 continue
+            if token is not None and token != process._token:
+                continue  # superseded by an interrupt or a newer schedule
             self.clock.advance_to(at)
+            if exc is None:
+                stall = self._due_stall(process)
+                if stall is not None:
+                    # Slow-consumer stall: delay this resume by the stall
+                    # duration, accounted as blocked time.
+                    process._account(self.clock.now)
+                    process._suspend(self.clock.now, BLOCKED)
+                    self.injected_stall_seconds += stall.duration
+                    self._schedule(self.clock.now + stall.duration, process)
+                    continue
             process._account(self.clock.now)
             try:
-                effect = next(process._gen)
+                if exc is not None:
+                    # Injected crash: cancel any pending resume/wait, then
+                    # throw into the generator at its suspension point.
+                    process._token += 1
+                    process.crashes_received += 1
+                    self.injected_crashes += 1
+                    effect = process._gen.throw(exc)
+                else:
+                    effect = next(process._gen)
             except StopIteration:
                 process.done = True
                 continue
@@ -206,6 +274,19 @@ class Runtime:
             )
         self._finished = True
         return self.clock.now - self.epoch
+
+    def _due_stall(self, process: Process):
+        """First unconsumed stall targeting ``process`` that is now due."""
+        if self.fault_plan is None:
+            return None
+        now = self.clock.now - self.epoch
+        for index, stall in self.fault_plan.stalls_for(process.name, process.layer):
+            if index in self._consumed_stalls:
+                continue
+            if stall.at <= now + 1e-12:
+                self._consumed_stalls.add(index)
+                return stall
+        return None
 
     @property
     def elapsed(self) -> float:

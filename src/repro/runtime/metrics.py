@@ -41,6 +41,53 @@ class LayerTimes:
 
 
 @dataclass
+class FaultMetrics:
+    """Per-feed failure/recovery counters for one run.
+
+    Deterministic for a deterministic (workload, policy, fault plan)
+    triple: identical runs produce byte-identical counter dicts.
+    """
+
+    records_skipped: int = 0  # soft errors dropped by a Skip policy
+    records_dead_lettered: int = 0  # soft errors routed to the dead-letter dataset
+    records_replayed: int = 0  # un-acked records reprocessed after a restart
+    records_discarded: int = 0  # congestion discards (Discard policy)
+    frames_dropped: int = 0  # congestion-discarded frames
+    crashes: int = 0  # injected actor crashes received
+    restarts: int = 0  # supervisor restarts performed
+    backoff_seconds: float = 0.0  # total simulated backoff before restarts
+    stall_seconds: float = 0.0  # injected slow-consumer stall time
+    channel_send_failures: int = 0  # transient send failures (retried)
+    disconnect_waits: int = 0  # producer waits on disconnected holders
+    throttle_seconds: float = 0.0  # admission throttling under congestion
+    idle_timeouts: int = 0  # adapter idle-waits ended by policy timeout
+    circuit_breaker_trips: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stable plain-dict form (what the chaos benchmark serializes)."""
+        return {
+            "records_skipped": self.records_skipped,
+            "records_dead_lettered": self.records_dead_lettered,
+            "records_replayed": self.records_replayed,
+            "records_discarded": self.records_discarded,
+            "frames_dropped": self.frames_dropped,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "backoff_seconds": self.backoff_seconds,
+            "stall_seconds": self.stall_seconds,
+            "channel_send_failures": self.channel_send_failures,
+            "disconnect_waits": self.disconnect_waits,
+            "throttle_seconds": self.throttle_seconds,
+            "idle_timeouts": self.idle_timeouts,
+            "circuit_breaker_trips": self.circuit_breaker_trips,
+        }
+
+    @property
+    def any_activity(self) -> bool:
+        return any(v for v in self.as_dict().values())
+
+
+@dataclass
 class HolderStats:
     """One partition holder's counters at the end of a run."""
 
@@ -71,6 +118,8 @@ class RuntimeMetrics:
     holders: List[HolderStats] = field(default_factory=list)
     stall_count: int = 0  # intake backpressure block events
     batch_latencies_seconds: List[float] = field(default_factory=list)
+    #: failure/recovery counters (``None`` when the run had no fault layer)
+    faults: Optional[FaultMetrics] = None
 
     # ------------------------------------------------------------- assembly
 
@@ -82,6 +131,7 @@ class RuntimeMetrics:
         stall_count: int = 0,
         batch_latencies: Optional[List[float]] = None,
         steady_state_seconds: Optional[float] = None,
+        faults: Optional[FaultMetrics] = None,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -90,6 +140,7 @@ class RuntimeMetrics:
             fill_drain_seconds=max(0.0, makespan - steady),
             stall_count=stall_count,
             batch_latencies_seconds=list(batch_latencies or []),
+            faults=faults,
         )
         for process in runtime.processes:
             metrics.processes[process.name] = LayerTimes(
@@ -153,6 +204,16 @@ class RuntimeMetrics:
                 f"  {name:<10} busy {times.busy:.4f}s  idle {times.idle:.4f}s  "
                 f"blocked {times.blocked:.4f}s  "
                 f"({times.utilization(self.makespan_seconds):.0%} utilized)"
+            )
+        if self.faults is not None and self.faults.any_activity:
+            f = self.faults
+            lines.append(
+                f"  faults: {f.crashes} crash(es), {f.restarts} restart(s) "
+                f"({f.backoff_seconds:.4f}s backoff), "
+                f"{f.records_skipped} skipped, "
+                f"{f.records_dead_lettered} dead-lettered, "
+                f"{f.records_replayed} replayed, "
+                f"{f.records_discarded} discarded"
             )
         return "\n".join(lines)
 

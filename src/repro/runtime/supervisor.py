@@ -1,0 +1,126 @@
+"""Supervised recovery: restart crashed layer actors on the sim clock.
+
+The paper's layered framework exists so a long-running feed survives the
+failure of one layer (§5): the intake and storage jobs run for the feed's
+lifetime while computing jobs are re-invoked per batch.  The
+:class:`Supervisor` makes that survival real on the discrete-event
+runtime: it wraps each layer actor's body in a restart loop that catches
+:class:`~repro.errors.InjectedCrash`, waits an exponential backoff on the
+*simulated* clock (accounted as blocked time), and re-enters the body.
+
+Replay is the body's job, not the supervisor's: a supervised body is a
+*factory* returning a fresh generator, closing over whatever un-acked
+state (the in-flight batch, undelivered frames) must be reprocessed after
+a restart — at-least-once delivery, with duplicate storage writes resolved
+by primary-key upsert downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Optional
+
+from ..errors import FeedFailedError, InjectedCrash
+from .kernel import Advance, BLOCKED, Process, Runtime
+
+
+@dataclass
+class SupervisedStats:
+    """Per-actor crash/restart bookkeeping."""
+
+    crashes: int = 0
+    restarts: int = 0
+    backoff_seconds: float = 0.0
+    gave_up: bool = False
+
+
+@dataclass
+class RestartPolicy:
+    """How a supervisor reacts to a crashed actor."""
+
+    max_restarts: int = 3
+    backoff_initial_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 5.0
+
+    def backoff_at(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (1-based), capped."""
+        seconds = self.backoff_initial_seconds * (
+            self.backoff_multiplier ** (attempt - 1)
+        )
+        return min(seconds, self.backoff_max_seconds)
+
+
+class Supervisor:
+    """Monitors layer actors; restarts crashed ones with bounded retries."""
+
+    def __init__(self, runtime: Runtime, restart_policy: Optional[RestartPolicy] = None):
+        self.runtime = runtime
+        self.restart_policy = restart_policy or RestartPolicy()
+        self.stats: Dict[str, SupervisedStats] = {}
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(s.crashes for s in self.stats.values())
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(s.restarts for s in self.stats.values())
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(s.backoff_seconds for s in self.stats.values())
+
+    def spawn(
+        self,
+        name: str,
+        body_factory: Callable[[], Generator],
+        layer: Optional[str] = None,
+        restart_policy: Optional[RestartPolicy] = None,
+    ) -> Process:
+        """Spawn ``body_factory()`` under supervision.
+
+        The factory is invoked for the first run and once per restart; it
+        must return a generator yielding runtime effects.  An injected
+        crash beyond the restart budget escalates to
+        :class:`~repro.errors.FeedFailedError`.
+        """
+        policy = restart_policy or self.restart_policy
+        stats = self.stats.setdefault(name, SupervisedStats())
+        return self.runtime.spawn(
+            name, self._supervise(name, body_factory, policy, stats), layer=layer
+        )
+
+    def _supervise(
+        self,
+        name: str,
+        body_factory: Callable[[], Generator],
+        policy: RestartPolicy,
+        stats: SupervisedStats,
+    ) -> Generator:
+        attempts = 0
+        restarting = False
+        while True:
+            try:
+                if restarting:
+                    # Backoff happens inside the try: a crash injected while
+                    # the actor is down is absorbed as another attempt
+                    # instead of escaping unsupervised.
+                    restarting = False
+                    backoff = policy.backoff_at(attempts)
+                    stats.restarts += 1
+                    stats.backoff_seconds += backoff
+                    if backoff > 0:
+                        yield Advance(backoff, state=BLOCKED)
+                yield from body_factory()
+                return
+            except InjectedCrash as crash:
+                stats.crashes += 1
+                attempts += 1
+                if attempts > policy.max_restarts:
+                    stats.gave_up = True
+                    raise FeedFailedError(
+                        f"actor {name!r} crashed {stats.crashes} time(s); "
+                        f"restart budget ({policy.max_restarts}) exhausted"
+                    ) from crash
+                restarting = True

@@ -5,14 +5,24 @@ import json
 import pytest
 
 from repro.errors import FeedStateError
-from repro.ingestion import FileAdapter, GeneratorAdapter, QueueAdapter, chunked
+from repro.ingestion import (
+    ADAPTER_IDLE,
+    FileAdapter,
+    GeneratorAdapter,
+    QueueAdapter,
+    chunked,
+    drain_available,
+)
 
 
 class TestGeneratorAdapter:
-    def test_wraps_raw_records(self):
+    def test_wraps_raw_records_with_provenance(self):
         adapter = GeneratorAdapter(['{"id": 1}', '{"id": 2}'])
         got = list(adapter.envelopes())
-        assert got == [{"raw": '{"id": 1}'}, {"raw": '{"id": 2}'}]
+        assert got == [
+            {"raw": '{"id": 1}', "seq": 0},
+            {"raw": '{"id": 2}', "seq": 1},
+        ]
         assert adapter.received == 2
 
 
@@ -29,13 +39,30 @@ class TestQueueAdapter:
         with pytest.raises(FeedStateError):
             adapter.send("x")
 
-    def test_draining_unended_queue_raises(self):
+    def test_empty_but_open_queue_yields_idle_sentinel(self):
+        # A queue drained before end() is a *starved* intake, not an
+        # error: the stream yields ADAPTER_IDLE so the feed runtime can
+        # account idle time and apply the policy's idle timeout.
         adapter = QueueAdapter()
         adapter.send("a")
         stream = adapter.envelopes()
         assert next(stream)["raw"] == "a"
-        with pytest.raises(FeedStateError, match="drained before end"):
+        assert next(stream) is ADAPTER_IDLE
+        assert next(stream) is ADAPTER_IDLE
+        adapter.send("b")
+        assert next(stream)["raw"] == "b"
+        adapter.end()
+        with pytest.raises(StopIteration):
             next(stream)
+
+    def test_seq_is_continuous_across_idle_gaps(self):
+        adapter = QueueAdapter()
+        stream = adapter.envelopes()
+        adapter.send("a")
+        assert next(stream)["seq"] == 0
+        assert next(stream) is ADAPTER_IDLE
+        adapter.send("b")
+        assert next(stream)["seq"] == 1
 
     def test_pending_counts(self):
         adapter = QueueAdapter()
@@ -51,6 +78,46 @@ class TestFileAdapter:
         got = [json.loads(e["raw"])["id"] for e in adapter.envelopes()]
         assert got == [1, 2]
         assert adapter.received == 2
+
+    def test_seq_is_the_file_line_number(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text('{"id": 1}\n\n{"id": 2}\n')
+        adapter = FileAdapter(str(path))
+        assert [e["seq"] for e in adapter.envelopes()] == [1, 3]
+
+    def test_handle_released_after_full_iteration(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text('{"id": 1}\n')
+        adapter = FileAdapter(str(path))
+        list(adapter.envelopes())
+        assert not adapter.is_open
+
+    def test_close_releases_handle_after_abort(self, tmp_path):
+        # A pipeline that dies mid-iteration leaves the generator (and
+        # the file handle) open; teardown's close() must release it.
+        path = tmp_path / "data.ndjson"
+        path.write_text('{"id": 1}\n{"id": 2}\n')
+        adapter = FileAdapter(str(path))
+        stream = adapter.envelopes()
+        next(stream)
+        assert adapter.is_open
+        adapter.close()
+        assert not adapter.is_open
+        adapter.close()  # idempotent
+
+
+class TestDrainAvailable:
+    def test_stops_at_first_idle(self):
+        adapter = QueueAdapter()
+        adapter.send_many(["a", "b"])
+        got = drain_available(adapter)
+        assert [e["raw"] for e in got] == ["a", "b"]
+
+    def test_drains_ended_stream_fully(self):
+        adapter = QueueAdapter()
+        adapter.send("a")
+        adapter.end()
+        assert len(drain_available(adapter)) == 1
 
 
 class TestChunked:

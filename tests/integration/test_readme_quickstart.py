@@ -47,6 +47,33 @@ def test_readme_quickstart():
     assert len(system.catalog["EnrichedTweets"]) == 1000
 
 
+def test_readme_fault_tolerance_snippet():
+    from repro.ingestion import FeedPolicy
+    from repro.runtime import CrashAt, FaultPlan
+
+    system = AsterixLite(num_nodes=3)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        """
+    )
+    system.create_feed("TweetFeed", {"type-name": "TweetType"})
+    system.connect_feed("TweetFeed", "EnrichedTweets", policy=FeedPolicy.spill())
+    raws = ['{"id": 1, "text": "ok"}', '{"id": 2, "text": ', '{"id": 3, "text": "ok"}']
+    report = system.start_feed(
+        "TweetFeed", adapter=GeneratorAdapter(raws), batch_size=420,
+        fault_plan=FaultPlan(crashes=(CrashAt(at=0.01, target="computing"),)),
+    )
+    # the malformed record is dead-lettered, the rest survive the crash
+    assert report.faults.records_dead_lettered == 1
+    assert sorted(
+        r["id"] for r in system.catalog["EnrichedTweets"].scan()
+    ) == [1, 3]
+    dead = system.query("SELECT VALUE d FROM TweetFeed_DeadLetters d")
+    assert len(dead) == 1 and dead[0]["seq"] == 1
+
+
 def test_module_docstring_quickstart():
     system = AsterixLite(num_nodes=3)
     system.execute(

@@ -1,0 +1,282 @@
+"""Deterministic fault injection: crashes, stalls, channel failures."""
+
+import pytest
+
+from repro.errors import InjectedCrash
+from repro.hyracks import Frame, PassivePartitionHolder
+from repro.runtime import (
+    BLOCKED,
+    Advance,
+    Channel,
+    ChannelSendFailure,
+    CrashAt,
+    FaultPlan,
+    HolderDisconnect,
+    IntakeBuffer,
+    Runtime,
+    StallAt,
+    Wait,
+)
+
+
+class TestFaultPlan:
+    def test_target_matches_layer_name_or_suffix(self):
+        plan = FaultPlan(crashes=(CrashAt(at=1.0, target="computing"),))
+        assert plan.crashes_for("feed-F.computing", "computing")
+        assert plan.crashes_for("computing", "other")  # exact process name
+        assert plan.crashes_for("feed-F.computing", "other")  # suffix
+        assert not plan.crashes_for("feed-F.intake", "intake")
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            CrashAt(at=-1.0, target="x")
+        with pytest.raises(ValueError):
+            StallAt(at=0.0, target="x", duration=-1.0)
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(crashes=(CrashAt(at=0.0, target="x"),)).empty
+
+    def test_generated_plan_is_seed_determined(self):
+        a = FaultPlan.generated(seed=7, horizon_seconds=2.0, num_stalls=2)
+        b = FaultPlan.generated(seed=7, horizon_seconds=2.0, num_stalls=2)
+        c = FaultPlan.generated(seed=8, horizon_seconds=2.0, num_stalls=2)
+        assert a.crashes == b.crashes and a.stalls == b.stalls
+        assert a.crashes != c.crashes or a.stalls != c.stalls
+
+    def test_disconnect_window_is_half_open(self):
+        plan = FaultPlan(
+            disconnects=(
+                HolderDisconnect(
+                    holder_id="intake-F", partition=0, at=1.0, duration=2.0
+                ),
+            )
+        )
+        assert plan.holder_disconnected_until("intake-F", 0, 0.5) is None
+        assert plan.holder_disconnected_until("intake-F", 0, 1.0) == 3.0
+        assert plan.holder_disconnected_until("intake-F", 0, 2.9) == 3.0
+        assert plan.holder_disconnected_until("intake-F", 0, 3.0) is None
+        assert plan.holder_disconnected_until("intake-F", 1, 1.5) is None
+
+
+class TestInjectedCrash:
+    def test_crash_delivered_at_scheduled_sim_time(self):
+        plan = FaultPlan(crashes=(CrashAt(at=1.5, target="worker"),))
+        runtime = Runtime(fault_plan=plan)
+        seen = []
+
+        def worker():
+            try:
+                while True:
+                    yield Advance(1.0)
+            except InjectedCrash as crash:
+                seen.append((runtime.clock.now, crash.fault))
+
+        runtime.spawn("worker", worker())
+        runtime.run()
+        assert seen == [(1.5, plan.crashes[0])]
+        assert runtime.injected_crashes == 1
+
+    def test_uncaught_crash_propagates_to_the_run(self):
+        # Without a supervisor (or an in-body handler) an injected crash is
+        # fatal, exactly like any other process exception.
+        plan = FaultPlan(crashes=(CrashAt(at=0.5, target="worker"),))
+        runtime = Runtime(fault_plan=plan)
+
+        def worker():
+            while True:
+                yield Advance(1.0)
+
+        runtime.spawn("worker", worker())
+        with pytest.raises(InjectedCrash):
+            runtime.run()
+
+    def test_crash_cancels_pending_resume(self):
+        # The worker is mid-Advance when the crash fires; its stale resume
+        # entry must not re-enter the generator after the crash unwinds it.
+        plan = FaultPlan(crashes=(CrashAt(at=0.5, target="worker"),))
+        runtime = Runtime(fault_plan=plan)
+        steps = []
+
+        def worker():
+            steps.append("start")
+            try:
+                yield Advance(2.0)
+            except InjectedCrash:
+                return
+            steps.append("resumed")  # must never happen
+
+        runtime.spawn("worker", worker())
+        runtime.run()
+        assert steps == ["start"]
+
+    def test_crash_cancels_pending_signal_wait(self):
+        plan = FaultPlan(crashes=(CrashAt(at=1.0, target="waiter"),))
+        runtime = Runtime(fault_plan=plan)
+        ready = runtime.signal("ready")
+        resumed = []
+
+        def waiter():
+            try:
+                yield Wait(ready)
+            except InjectedCrash:
+                return
+            resumed.append(runtime.clock.now)  # must never happen
+
+        def notifier():
+            yield Advance(2.0)
+            ready.notify_all()
+
+        runtime.spawn("waiter", waiter())
+        runtime.spawn("notifier", notifier())
+        runtime.run()
+        assert resumed == []
+
+    def test_crash_scheduled_after_process_ends_is_ignored(self):
+        plan = FaultPlan(crashes=(CrashAt(at=5.0, target="worker"),))
+        runtime = Runtime(fault_plan=plan)
+
+        def worker():
+            yield Advance(1.0)
+
+        runtime.spawn("worker", worker())
+        # the stale interrupt entry is discarded without advancing the clock
+        assert runtime.run() == pytest.approx(1.0)
+        assert runtime.injected_crashes == 0
+
+
+class TestInjectedStall:
+    def test_stall_delays_resume_and_accounts_blocked(self):
+        plan = FaultPlan(stalls=(StallAt(at=1.0, target="worker", duration=2.0),))
+        runtime = Runtime(fault_plan=plan)
+        resumes = []
+
+        def worker():
+            yield Advance(1.0)
+            resumes.append(runtime.clock.now)
+            yield Advance(1.0)
+
+        process = runtime.spawn("worker", worker())
+        assert runtime.run() == pytest.approx(4.0)
+        assert resumes == [3.0]  # resume at t=1.0 delayed by the 2.0s stall
+        assert process.totals[BLOCKED] == pytest.approx(2.0)
+        assert runtime.injected_stall_seconds == pytest.approx(2.0)
+
+    def test_stall_fires_once(self):
+        plan = FaultPlan(stalls=(StallAt(at=0.0, target="worker", duration=1.0),))
+        runtime = Runtime(fault_plan=plan)
+
+        def worker():
+            for _ in range(3):
+                yield Advance(1.0)
+
+        runtime.spawn("worker", worker())
+        assert runtime.run() == pytest.approx(4.0)  # 3 busy + 1 stall
+
+
+class TestChannelSendFailure:
+    def test_failed_put_retries_and_succeeds(self):
+        plan = FaultPlan(
+            channel_failures=(
+                ChannelSendFailure(channel="work", put_index=1, retry_seconds=0.5),
+            )
+        )
+        runtime = Runtime(fault_plan=plan)
+        channel = Channel(runtime, capacity=4, name="work")
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield from channel.put(i)
+            channel.end()
+
+        def consumer():
+            while True:
+                item = yield from channel.get()
+                if item is None:
+                    break
+                got.append(item)
+
+        producer_proc = runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert got == [0, 1, 2]  # at-least-once: nothing lost
+        assert channel.send_failures == 1
+        assert producer_proc.totals[BLOCKED] == pytest.approx(0.5)
+
+    def test_unrelated_channel_unaffected(self):
+        plan = FaultPlan(
+            channel_failures=(ChannelSendFailure(channel="other", put_index=0),)
+        )
+        runtime = Runtime(fault_plan=plan)
+        channel = Channel(runtime, capacity=4, name="work")
+
+        def producer():
+            yield from channel.put("a")
+            channel.end()
+
+        runtime.spawn("p", producer())
+        runtime.run()
+        assert channel.send_failures == 0
+
+
+class TestHolderDisconnect:
+    def test_producer_waits_out_disconnect(self):
+        plan = FaultPlan(
+            disconnects=(
+                HolderDisconnect(
+                    holder_id="intake-test", partition=0, at=0.0, duration=1.5
+                ),
+            )
+        )
+        runtime = Runtime(fault_plan=plan)
+        holders = [PassivePartitionHolder("intake-test", p, 8) for p in range(2)]
+        buffer = IntakeBuffer(runtime, holders)
+        deposits = []
+
+        def producer():
+            yield from buffer.put(0, Frame([{"id": 0}]))
+            deposits.append(runtime.clock.now)
+            buffer.end()
+
+        def consumer():
+            while True:
+                batch = yield from buffer.collect(batch_size=4)
+                if batch is None:
+                    break
+
+        producer_proc = runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert deposits == [1.5]  # deposit waited for the reconnect
+        assert producer_proc.totals[BLOCKED] == pytest.approx(1.5)
+        assert holders[0].disconnects == 1
+        assert holders[0].disconnected_seconds == pytest.approx(1.5)
+        assert holders[1].disconnects == 0
+
+
+class TestDeterminism:
+    def test_identical_plan_replays_identically(self):
+        plan = FaultPlan(
+            crashes=(CrashAt(at=1.3, target="b"),),
+            stalls=(StallAt(at=0.6, target="a", duration=0.4),),
+        )
+
+        def run_once():
+            runtime = Runtime(fault_plan=plan)
+            log = []
+
+            def worker(name, seconds):
+                try:
+                    for step in range(4):
+                        log.append((name, step, runtime.clock.now))
+                        yield Advance(seconds)
+                except InjectedCrash:
+                    log.append((name, "crash", runtime.clock.now))
+
+            runtime.spawn("a", worker("a", 0.7))
+            runtime.spawn("b", worker("b", 1.1))
+            runtime.run()
+            return log, runtime.injected_crashes, runtime.injected_stall_seconds
+
+        assert run_once() == run_once()
