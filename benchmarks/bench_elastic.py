@@ -1,0 +1,78 @@
+"""Elastic computing-pool benchmark: worker-count sweep + auto-scaling.
+
+Runs a compute-bound enrichment feed at static pool sizes (1, 2, 4
+workers) and once under ``FeedPolicy.elastic()``, verifying:
+
+* >= 1.8x simulated-makespan speedup at 4 workers vs 1;
+* byte-identical stored outputs at every worker count (sequencer);
+* deterministic repeats (same makespan + output hash);
+* the elastic controller actually scales up under congestion.
+
+Output goes to ``BENCH_elastic.json`` at the repo root (simulated
+numbers; ``benchmarks/results/`` holds the paper-figure tables only).
+
+Usage::
+
+    python benchmarks/bench_elastic.py            # full run
+    python benchmarks/bench_elastic.py --smoke    # quick CI run
+
+Exits non-zero if any invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI (fewer records)",
+    )
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_elastic.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = args.records or (960 if args.smoke else 2400)
+    batch_size = args.batch_size or (40 if args.smoke else 80)
+
+    from repro.bench.elastic import run_elastic
+
+    result = run_elastic(records=records, batch_size=batch_size)
+    result["mode"] = "smoke" if args.smoke else "full"
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"elastic benchmark -> {args.output}")
+    print(
+        f"  speedup at max workers: {result['speedup_at_max_workers']:.2f}x "
+        f"(floor {result['speedup_floor']}x)"
+    )
+    print(f"  elastic speedup: {result['elastic_speedup']:.2f}x")
+    elastic = result["elastic"]
+    print(
+        f"  elastic pool: peak {elastic['peak_workers']}, "
+        f"{elastic['scale_ups']} up(s), {elastic['scale_downs']} down(s)"
+    )
+    for name, passed in result["checks"].items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    if not result["ok"]:
+        print("elastic benchmark FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

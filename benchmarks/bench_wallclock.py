@@ -9,7 +9,9 @@ Usage::
     python benchmarks/bench_wallclock.py            # full run
     python benchmarks/bench_wallclock.py --smoke    # quick CI run
 
-Exits non-zero if planned evaluation is slower than interpreted.
+Exits non-zero if planned evaluation is slower than interpreted, or — with
+``--baseline BENCH_wallclock.json`` — if planned throughput regressed more
+than ``--baseline-tolerance`` (default 20%) against the recorded baseline.
 """
 
 from __future__ import annotations
@@ -37,10 +39,29 @@ def main(argv=None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_wallclock.json",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_wallclock.json to gate planned throughput "
+        "against (fail on regression beyond the tolerance)",
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop in planned rec/s vs the baseline",
+    )
     args = parser.parse_args(argv)
 
     records = args.records or (300 if args.smoke else 1500)
     repeats = args.repeats or (2 if args.smoke else 3)
+
+    # Snapshot the baseline before running: --output may point at the same
+    # file (the committed BENCH_wallclock.json), which the run overwrites.
+    baseline = None
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
 
     from repro.bench.wallclock import run_wallclock
 
@@ -64,6 +85,26 @@ def main(argv=None) -> int:
     if aggregate["speedup"] < 1.0:
         print("FAIL: planned evaluation is slower than interpreted", file=sys.stderr)
         return 1
+    if baseline is not None:
+        # Gate on the planned/interpreted speedup ratio, not absolute
+        # rec/s: the ratio is comparable across machines and between
+        # smoke and full workload sizes, absolute throughput is not.
+        recorded = baseline.get("aggregate", {}).get("speedup")
+        if recorded:
+            floor = recorded * (1.0 - args.baseline_tolerance)
+            current = aggregate["speedup"]
+            print(
+                f"  baseline planned speedup {recorded:.2f}x "
+                f"(floor {floor:.2f}x at {args.baseline_tolerance:.0%} "
+                f"tolerance) -> current {current:.2f}x"
+            )
+            if current < floor:
+                print(
+                    "FAIL: planned throughput regressed more than "
+                    f"{args.baseline_tolerance:.0%} vs {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

@@ -21,6 +21,7 @@ from ..core.system import AsterixLite
 from ..ingestion.adapter import GeneratorAdapter
 from ..ingestion.policy import FeedPolicy
 from ..runtime.faults import (
+    AdapterFailAt,
     ChannelSendFailure,
     CrashAt,
     FaultPlan,
@@ -115,6 +116,28 @@ def _scenarios(records: int) -> List[Dict]:
                         at=0.0,
                         duration=0.02,
                     ),
+                )
+            ),
+        },
+        {
+            "name": "worker_pool_crash",
+            "description": "every worker of a 4-strong computing pool "
+            "crashes mid-run; each replays its own in-flight batch",
+            "malformed_every": 0,
+            "policy": FeedPolicy.spill(
+                min_computing_workers=4, max_computing_workers=4
+            ),
+            "plan": FaultPlan(crashes=(CrashAt(at=0.01, target="computing"),)),
+        },
+        {
+            "name": "adapter_crash_resume",
+            "description": "the adapter's source dies mid-fetch; intake "
+            "re-opens it from the resume cursor with no acked loss",
+            "malformed_every": 0,
+            "policy": FeedPolicy.spill(),
+            "plan": FaultPlan(
+                adapter_failures=(
+                    AdapterFailAt(after_records=max(1, records // 3)),
                 )
             ),
         },

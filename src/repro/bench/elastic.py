@@ -1,0 +1,188 @@
+"""Elastic computing-pool benchmark: makespan vs worker count.
+
+A compute-bound enrichment (the paper's sensitive-words EXISTS join) is
+pushed through the same feed at static pool sizes 1, 2, and 4 workers,
+then once more under ``FeedPolicy.elastic()`` where the controller grows
+the pool from sampled intake congestion.  The harness verifies the
+invariants that make the pool trustworthy, not just fast:
+
+* **speedup** — simulated makespan at 4 workers is at least 1.8x the
+  single-worker makespan on this compute-bound UDF;
+* **identical outputs** — every worker count stores the byte-identical
+  enriched dataset (the sequencer preserves storage order/content);
+* **determinism** — re-running any configuration reproduces the same
+  makespan and output hash;
+* **elastic reaction** — the elastic run actually scales (peak workers >
+  1, at least one scale-up) and lands between the 1- and 4-worker
+  makespans.
+
+Results go to ``BENCH_elastic.json`` at the repo root;
+``benchmarks/results/`` stays reserved for the paper-figure tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.system import AsterixLite
+from ..ingestion.adapter import GeneratorAdapter
+from ..ingestion.policy import FeedPolicy
+from .reporting import layer_utilization_table
+
+FEED = "ElasticFeed"
+DATASET = "EnrichedTweets"
+SPEEDUP_FLOOR = 1.8  # acceptance: >= this at 4 workers vs 1
+
+
+def _raw_records(records: int) -> List[str]:
+    return [
+        json.dumps({"id": i, "text": f"tweet {i}", "country": "US"})
+        for i in range(records)
+    ]
+
+
+def _run_once(policy: FeedPolicy, records: int, batch_size: int,
+              num_nodes: int = 4, words: int = 300):
+    """One feed run of the compute-bound enrichment; returns (report, hash)."""
+    system = AsterixLite(num_nodes=num_nodes)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        CREATE TYPE WordType AS OPEN { wid: int64 };
+        CREATE DATASET SensitiveWords(WordType) PRIMARY KEY wid;
+        """
+    )
+    system.insert(
+        "SensitiveWords",
+        [{"wid": i, "country": "US", "word": f"w{i}"} for i in range(words)],
+    )
+    system.execute(
+        """
+        CREATE FUNCTION heavyCheck(tweet) {
+            LET flag = CASE
+                EXISTS(SELECT w FROM SensitiveWords w
+                       WHERE tweet.country = w.country
+                         AND contains(tweet.text, w.word))
+                WHEN true THEN "Red" ELSE "Green" END
+            SELECT tweet.*, flag
+        };
+        CREATE FEED ElasticFeed WITH { "type-name": "TweetType" };
+        CONNECT FEED ElasticFeed TO DATASET EnrichedTweets
+            APPLY FUNCTION heavyCheck;
+        """
+    )
+    report = system.start_feed(
+        FEED,
+        adapter=GeneratorAdapter(_raw_records(records)),
+        batch_size=batch_size,
+        policy=policy,
+    )
+    stored = sorted(
+        (r["id"], r["flag"]) for r in system.catalog[DATASET].scan()
+    )
+    digest = hashlib.sha256(
+        json.dumps(stored, sort_keys=True).encode()
+    ).hexdigest()
+    return report, digest
+
+
+def _summarize(report, digest: str) -> Dict:
+    metrics = report.runtime
+    return {
+        "makespan_seconds": metrics.makespan_seconds,
+        "throughput_records_per_sim_second": report.throughput,
+        "records_stored": report.records_stored,
+        "computing_busy_aggregate_seconds": report.computing_seconds,
+        "computing_wall_seconds": report.computing_wall_seconds,
+        "computing_concurrency": report.computing_concurrency,
+        "computing_worker_busy": dict(report.computing_worker_busy),
+        "peak_workers": report.peak_computing_workers,
+        "scale_ups": report.scale_ups,
+        "scale_downs": report.scale_downs,
+        "reordered_batches": metrics.reordered_batches,
+        "worker_pool_timeline": [
+            [at, size] for at, size in metrics.worker_pool_timeline
+        ],
+        "output_sha256": digest,
+        "layer_utilization": layer_utilization_table(
+            metrics, per_process=True
+        ),
+    }
+
+
+def run_elastic(
+    records: int = 2400,
+    batch_size: int = 80,
+    worker_counts: Sequence[int] = (1, 2, 4),
+) -> Dict:
+    """Run the static-pool sweep plus the elastic run; returns results."""
+    results: Dict = {
+        "records": records,
+        "batch_size": batch_size,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "static": {},
+    }
+    makespans: Dict[int, float] = {}
+    digests: Dict[int, str] = {}
+    repeats: Dict[int, Tuple[float, str]] = {}
+    for workers in worker_counts:
+        policy = FeedPolicy.spill(
+            min_computing_workers=workers, max_computing_workers=workers
+        )
+        report, digest = _run_once(policy, records, batch_size)
+        report2, digest2 = _run_once(policy, records, batch_size)
+        makespans[workers] = report.runtime.makespan_seconds
+        digests[workers] = digest
+        repeats[workers] = (report2.runtime.makespan_seconds, digest2)
+        results["static"][str(workers)] = _summarize(report, digest)
+
+    elastic_report, elastic_digest = _run_once(
+        FeedPolicy.elastic(), records, batch_size
+    )
+    elastic_repeat, elastic_digest2 = _run_once(
+        FeedPolicy.elastic(), records, batch_size
+    )
+    results["elastic"] = _summarize(elastic_report, elastic_digest)
+
+    base = makespans[min(worker_counts)]
+    top = max(worker_counts)
+    speedup = base / makespans[top] if makespans[top] > 0 else 0.0
+    results["speedup_at_max_workers"] = speedup
+    results["elastic_speedup"] = (
+        base / elastic_report.runtime.makespan_seconds
+        if elastic_report.runtime.makespan_seconds > 0
+        else 0.0
+    )
+
+    checks = {
+        "speedup_reaches_floor": speedup >= SPEEDUP_FLOOR,
+        "outputs_identical_across_worker_counts": (
+            len({digests[w] for w in worker_counts} | {elastic_digest}) == 1
+        ),
+        "deterministic_repeats": all(
+            repeats[w] == (makespans[w], digests[w]) for w in worker_counts
+        )
+        and (
+            elastic_repeat.runtime.makespan_seconds,
+            elastic_digest2,
+        )
+        == (elastic_report.runtime.makespan_seconds, elastic_digest),
+        "elastic_scaled_up": (
+            elastic_report.peak_computing_workers > 1
+            and elastic_report.scale_ups >= 1
+        ),
+        "elastic_beats_single_worker": (
+            elastic_report.runtime.makespan_seconds < base
+        ),
+        "all_records_stored": all(
+            results["static"][str(w)]["records_stored"] == records
+            for w in worker_counts
+        )
+        and elastic_report.records_stored == records,
+    }
+    results["checks"] = checks
+    results["ok"] = all(checks.values())
+    return results

@@ -89,12 +89,17 @@ def ascii_line_chart(
     return "\n".join(lines)
 
 
-def layer_utilization_table(metrics) -> str:
+def layer_utilization_table(metrics, per_process: bool = False) -> str:
     """Render a :class:`~repro.runtime.RuntimeMetrics` per-layer summary.
 
     One row per layer with busy/idle/blocked seconds and utilization over
     the run's makespan, plus the holder high-water mark and stall count —
     the quickest way to see which layer bottlenecks a feed.
+
+    A layer row aggregates every process in the layer, so a worker pool's
+    busy can exceed the makespan (overlapped work).  ``per_process=True``
+    adds an indented row per process under each multi-process layer,
+    showing each worker's own share.
     """
     if metrics is None:
         return "(no runtime metrics)"
@@ -108,6 +113,24 @@ def layer_utilization_table(metrics) -> str:
             f"{name:<12} {times.busy:>10.4f} {times.idle:>10.4f} "
             f"{times.blocked:>12.4f} "
             f"{times.utilization(metrics.makespan_seconds):>8.0%}"
+        )
+        if per_process:
+            members = metrics.layer_process_times(name)
+            if len(members) > 1:
+                for pname in sorted(members):
+                    ptimes = members[pname]
+                    short = pname.split(".")[-1]
+                    lines.append(
+                        f"  {short:<10} {ptimes.busy:>10.4f} "
+                        f"{ptimes.idle:>10.4f} {ptimes.blocked:>12.4f} "
+                        f"{ptimes.utilization(metrics.makespan_seconds):>8.0%}"
+                    )
+    if per_process and metrics.peak_workers > 1:
+        lines.append(
+            f"computing pool: peak {metrics.peak_workers} worker(s), "
+            f"{metrics.scale_ups} scale-up(s), "
+            f"{metrics.scale_downs} scale-down(s), "
+            f"{metrics.reordered_batches} reordered batch(es)"
         )
     lines.append(
         f"makespan {metrics.makespan_seconds:.4f}s, "

@@ -244,6 +244,21 @@ class AsterixLite:
     def feed_report(self, feed: str) -> Optional[FeedRunReport]:
         return self._feed(feed).last_report
 
+    def replay_dead_letters(
+        self,
+        feed: str,
+        batch_size: int = 420,
+        policy: Optional[FeedPolicy] = None,
+    ):
+        """Re-ingest the feed's repaired dead-letter rows and clear them.
+
+        See :func:`repro.ingestion.replay.replay_dead_letters`; returns its
+        :class:`~repro.ingestion.replay.ReplayReport`.
+        """
+        from ..ingestion.replay import replay_dead_letters
+
+        return replay_dead_letters(self, feed, batch_size=batch_size, policy=policy)
+
     def runtime_metrics(self, feed: str):
         """The feed's last-run :class:`~repro.runtime.RuntimeMetrics`.
 

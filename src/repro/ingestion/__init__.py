@@ -29,6 +29,7 @@ from .policy import (
     SoftErrorHandler,
     ensure_dead_letter_dataset,
 )
+from .replay import ReplayReport, replay_dead_letters
 from .udf_operator import UdfEvaluatorOperator, make_invoker
 from .updates import CompositeUpdateClient, ReferenceUpdateClient
 
@@ -50,6 +51,7 @@ __all__ = [
     "GeneratorAdapter",
     "QueueAdapter",
     "ReferenceUpdateClient",
+    "ReplayReport",
     "SoftErrorAction",
     "SoftErrorHandler",
     "StaticIngestionPipeline",
@@ -58,4 +60,5 @@ __all__ = [
     "drain_available",
     "ensure_dead_letter_dataset",
     "make_invoker",
+    "replay_dead_letters",
 ]

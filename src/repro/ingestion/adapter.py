@@ -45,8 +45,27 @@ ADAPTER_IDLE = _AdapterIdle()
 class FeedAdapter:
     """Base adapter protocol: an iterator of raw-record envelopes."""
 
-    def envelopes(self) -> Iterator[Dict[str, object]]:
+    def envelopes(
+        self, resume_from: Optional[int] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Iterate raw-record envelopes.
+
+        ``resume_from`` re-opens the source after an adapter death: the
+        iterator skips everything at or before that cursor (a value
+        previously returned by :meth:`resume_position`), so a restarted
+        intake actor continues exactly where the dead adapter stopped.
+        """
         raise NotImplementedError
+
+    def resume_position(self) -> int:
+        """Cursor of the last envelope drawn (``0`` before any draw).
+
+        Feed it back to :meth:`envelopes` as ``resume_from`` to continue a
+        stream whose source died mid-fetch.  In-process adapters keep
+        their position in live state, so the default cursor is simply the
+        received-record count.
+        """
+        return getattr(self, "received", 0)
 
     def close(self) -> None:
         """Release external resources (no-op by default).
@@ -63,7 +82,12 @@ class GeneratorAdapter(FeedAdapter):
         self._source = iter(raw_records)
         self.received = 0
 
-    def envelopes(self) -> Iterator[Dict[str, object]]:
+    def envelopes(
+        self, resume_from: Optional[int] = None
+    ) -> Iterator[Dict[str, object]]:
+        # The underlying iterator holds its own position, so a re-open
+        # simply continues it; ``resume_from`` is accepted for protocol
+        # symmetry but needs no skipping.
         for raw in self._source:
             seq = self.received
             self.received += 1
@@ -100,7 +124,12 @@ class QueueAdapter(FeedAdapter):
     def pending(self) -> int:
         return len(self._queue)
 
-    def envelopes(self) -> Iterator[Dict[str, object]]:
+    def envelopes(
+        self, resume_from: Optional[int] = None
+    ) -> Iterator[Dict[str, object]]:
+        # The queue only holds undrawn records (drawn ones were popped),
+        # so a re-open resumes naturally; ``seq`` numbering continues from
+        # the cursor.
         while True:
             if self._queue:
                 seq = self.received
@@ -124,16 +153,27 @@ class FileAdapter(FeedAdapter):
     def __init__(self, path: str):
         self.path = path
         self.received = 0
+        self.last_line = 0  # resume cursor: line number last yielded
         self._handle = None
 
-    def envelopes(self) -> Iterator[Dict[str, object]]:
+    def resume_position(self) -> int:
+        """The 1-based line number of the last envelope drawn."""
+        return self.last_line
+
+    def envelopes(
+        self, resume_from: Optional[int] = None
+    ) -> Iterator[Dict[str, object]]:
         handle = open(self.path, "r", encoding="utf-8")
         self._handle = handle
+        skip_through = resume_from or 0
         try:
             for line_number, line in enumerate(handle, start=1):
+                if line_number <= skip_through:
+                    continue  # already delivered before the re-open
                 line = line.strip()
                 if line:
                     self.received += 1
+                    self.last_line = line_number
                     yield {"raw": line, "seq": line_number}
         finally:
             handle.close()

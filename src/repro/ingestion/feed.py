@@ -92,6 +92,16 @@ class FeedRunReport:
     stalls: int = 0  # intake backpressure events
     fixed_start_seconds: float = 0.0  # one-time feed start cost (amortized)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: worker-pool accounting: ``computing_seconds`` is the layer's
+    #: *aggregate* busy across all workers (it can exceed any wall-clock
+    #: span when workers overlap); ``computing_wall_seconds`` is the clock
+    #: span from the first batch's invoke to the last batch's completion;
+    #: ``computing_worker_busy`` is each worker's own aggregate
+    computing_wall_seconds: float = 0.0
+    computing_worker_busy: Dict[str, float] = field(default_factory=dict)
+    peak_computing_workers: int = 1
+    scale_ups: int = 0  # elastic pool grow events
+    scale_downs: int = 0  # elastic pool shrink events
     #: per-layer busy/idle/blocked timelines, holder high-water marks,
     #: stall counts, and batch latencies from the discrete-event runtime
     runtime: Optional["RuntimeMetrics"] = None
@@ -110,6 +120,17 @@ class FeedRunReport:
         if seconds <= 0:
             return 0.0
         return self.records_ingested / seconds
+
+    @property
+    def computing_concurrency(self) -> float:
+        """Achieved computing overlap: aggregate busy over wall span.
+
+        ``1.0`` for a single serialized worker; approaches the pool size
+        when workers overlap perfectly.  ``0.0`` when no batch ran.
+        """
+        if self.computing_wall_seconds <= 0:
+            return 0.0
+        return self.computing_seconds / self.computing_wall_seconds
 
     @property
     def faults(self) -> Optional["FaultMetrics"]:

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional
 
 from ..adm.schema import primary_key_of
 from ..cluster.controller import Cluster
-from ..errors import IngestionError, StreamingJoinError
+from ..errors import IngestionError, InjectedCrash, StreamingJoinError
 from ..hyracks.connectors import HashPartition, OneToOne, RoundRobin
 from ..hyracks.frame import DEFAULT_FRAME_CAPACITY, Frame
 from ..hyracks.job import JobSpecification, OperatorDescriptor
@@ -45,11 +45,13 @@ from ..hyracks.operators.sinks import CallbackSink
 from ..hyracks.partition_holder import ActivePartitionHolder, PassivePartitionHolder
 from ..runtime import (
     Advance,
+    CANCELLED,
     Channel,
     FaultMetrics,
     IDLE,
     IntakeBuffer,
     RuntimeMetrics,
+    Sequencer,
     Supervisor,
 )
 from ..sqlpp.analysis import dataset_references
@@ -232,9 +234,20 @@ class _IntakeLayer:
         open adapter (a :class:`QueueAdapter` drained before ``end()``)
         surfaces as accounted idle time, bounded by the policy's
         ``adapter_idle_timeout_seconds``.
+
+        An :class:`~repro.runtime.faults.AdapterFailAt` in the fault plan
+        kills the adapter after it has drawn that many envelopes: the
+        source is closed and the intake actor crashes; on the supervisor's
+        restart the adapter is re-opened from its resume cursor
+        (:meth:`~repro.ingestion.adapter.FeedAdapter.resume_position`), so
+        envelopes already drawn (held in closure state) are never drawn
+        twice and nothing after the cursor is skipped.
         """
-        source = adapter.envelopes()
+        plan = buffer.runtime.fault_plan
         state = {
+            "source": adapter.envelopes(),
+            "drawn": 0,  # envelopes drawn over the adapter's lifetime
+            "faults_consumed": set(),
             "exhausted": False,
             "advanced": 0.0,
             "chunk": None,  # envelopes drawn but not yet framed
@@ -245,7 +258,25 @@ class _IntakeLayer:
         poll = policy.adapter_idle_poll_seconds
         timeout = policy.adapter_idle_timeout_seconds
 
+        def due_adapter_fault():
+            if plan is None:
+                return None
+            for index, fault in plan.adapter_failures_indexed():
+                if index in state["faults_consumed"]:
+                    continue
+                if state["drawn"] >= fault.after_records:
+                    state["faults_consumed"].add(index)
+                    return fault
+            return None
+
         def body():
+            if state["source"] is None:
+                # restarted after an adapter death: re-open from the cursor
+                state["source"] = adapter.envelopes(
+                    resume_from=adapter.resume_position()
+                )
+                faults.adapter_reopens += 1
+            source = state["source"]
             while True:
                 if state["pending"] is None:
                     if state["exhausted"]:
@@ -254,6 +285,16 @@ class _IntakeLayer:
                         state["chunk"] = []
                     chunk = state["chunk"]
                     while len(chunk) < chunk_size:
+                        fault = due_adapter_fault()
+                        if fault is not None:
+                            # the source died mid-fetch: drop the iterator,
+                            # release its resources, and crash this actor —
+                            # the supervisor restarts it and the re-opened
+                            # source resumes from the cursor
+                            state["source"] = None
+                            faults.adapter_crashes += 1
+                            adapter.close()
+                            raise InjectedCrash(fault)
                         try:
                             item = next(source)
                         except StopIteration:
@@ -270,6 +311,7 @@ class _IntakeLayer:
                             yield Advance(poll, state=IDLE)
                             continue
                         state["idle"] = 0.0
+                        state["drawn"] += 1
                         chunk.append(item)
                     if not chunk:
                         if state["exhausted"]:
@@ -622,10 +664,16 @@ class DynamicIngestionPipeline:
             make_invoker(feed.functions, self.registry) if feed.functions else None
         )
 
-        collected: List[List[dict]] = [[] for _ in range(n)]
+        # One CallbackSink output slot, swapped per invocation: concurrent
+        # workers each install their own buffer right before invoking (an
+        # invocation is synchronous within one worker resume, so the slot
+        # is never shared across two in-flight invokes).
+        collect_slot: Dict[str, List[List[dict]]] = {
+            "outputs": [[] for _ in range(n)]
+        }
 
         def collect(partition: int, frame: Frame) -> None:
-            collected[partition].extend(frame.records)
+            collect_slot["outputs"][partition].extend(frame.records)
 
         def spec_builder(partition_lists: List[List[dict]]) -> JobSpecification:
             spec = JobSpecification(f"feed-{feed.name}-computing")
@@ -674,8 +722,8 @@ class DynamicIngestionPipeline:
         try:
             return self._drive(
                 feed, adapter, intake, storage, eval_ctx, batch_size,
-                update_client, predeploy, decoupled, spec_builder, collected,
-                policy, faults, soft_errors,
+                update_client, predeploy, decoupled, spec_builder,
+                collect_slot, policy, faults, soft_errors,
             )
         finally:
             # a failing UDF or adapter must not leak the feed's runtime
@@ -699,7 +747,7 @@ class DynamicIngestionPipeline:
         predeploy: bool,
         decoupled: bool,
         spec_builder,
-        collected: List[List[dict]],
+        collect_slot: Dict[str, List[List[dict]]],
         policy: FeedPolicy,
         faults: FaultMetrics,
         soft_errors: SoftErrorHandler,
@@ -736,25 +784,70 @@ class DynamicIngestionPipeline:
         )
         state = {"computing_total": 0.0, "coupled_extra": 0.0}
         batch_latencies: List[float] = []
-        #: the un-acked batch: set when pulled from the intake buffer,
-        #: cleared only after the storage hand-off — a computing-job crash
-        #: in between replays it (at-least-once; upsert dedupes)
-        inflight = {"batch": None, "ended": False}
 
-        def computing_body():
-            """The AFM loop: collect a batch, invoke, hand off to storage."""
+        # ------------------------------------------------ computing worker pool
+        workers_min = policy.min_computing_workers
+        workers_max = policy.max_computing_workers
+        elastic = policy.elastic_enabled
+        #: the order-preserving hand-off in front of storage: workers
+        #: complete batches out of index order, the sequencer releases the
+        #: real writes (and the storage channel items) in index order, so
+        #: pk-upsert order / acked guarantees / dead-letter provenance are
+        #: byte-identical to the single-actor pipeline
+        sequencer = Sequencer(storage.store_batch, storage_channel)
+        pool = {
+            "assign": 0,  # next batch index to hand to a worker
+            "spawned": 0,  # workers ever created (names stay unique)
+            "running": 0,
+            "peak": 0,
+            "shrink": 0,  # outstanding scale-down tokens
+            "timeline": [],  # (sim_seconds, pool size) steps
+            "scale_ups": 0,
+            "scale_downs": 0,
+            "worker_busy": {},  # per-worker aggregate busy seconds
+            "first_busy": None,  # clock at the first batch's invoke
+            "last_busy": 0.0,  # clock after the last batch's work
+            "ended": False,
+        }
+
+        def worker_loop(worker_name: str, inflight: Dict[str, object]):
+            """One pool worker's AFM loop: collect, invoke, sequence.
+
+            ``inflight`` is the worker's un-acked (index, batch) pair: set
+            when pulled from the intake buffer, cleared only after the
+            sequenced storage hand-off — a crash in between replays it
+            under the *same* batch index (at-least-once; the sequencer
+            re-releases already-released indices and upsert dedupes).
+            """
+            claim_shrink = None
+            if elastic:
+                def claim_shrink():
+                    if pool["shrink"] > 0:
+                        pool["shrink"] -= 1
+                        return True
+                    return False
+
             while True:
                 if inflight["batch"] is not None:
+                    index = inflight["index"]
                     batch = inflight["batch"]
                     faults.records_replayed += sum(len(p) for p in batch)
                 else:
-                    batch = yield from buffer.collect(batch_size)
+                    batch = yield from buffer.collect(
+                        batch_size, cancel=claim_shrink
+                    )
+                    if batch is CANCELLED:
+                        pool["scale_downs"] += 1
+                        break  # retired by the elastic controller
                     if batch is None:
-                        break
+                        break  # EOF and drained
+                    index = pool["assign"]
+                    pool["assign"] += 1
+                    inflight["index"] = index
                     inflight["batch"] = batch
                 total = sum(len(p) for p in batch)
-                for p in range(n):
-                    collected[p] = []
+                outputs: List[List[dict]] = [[] for _ in range(n)]
+                collect_slot["outputs"] = outputs
                 eval_ctx.refresh_batch()
                 eval_ctx.shared_meter.reset()
                 eval_ctx.replicated_meter.reset()
@@ -776,25 +869,32 @@ class DynamicIngestionPipeline:
                 if feed.functions:
                     makespan += cost.udf_job_overhead(n)
                 batch_started = runtime.clock.now
+                if pool["first_busy"] is None:
+                    pool["first_busy"] = batch_started
                 yield Advance(makespan)
-                batch_storage_busy = storage.store_batch(collected)
-                if decoupled:
-                    # hand the write work to the storage process; it
-                    # overlaps the next computing job
-                    yield from storage_channel.put(batch_storage_busy)
-                else:
+                # Sequenced hand-off: the real writes (and storage-channel
+                # items) for this index — plus any later indices it
+                # unblocks — are released in batch order.
+                released = yield from sequencer.put(index, outputs)
+                if not decoupled:
                     # §5.2 ablation: the coupled insert job waits for the
-                    # log force and storage writes before finishing.
-                    if batch_storage_busy > 0:
-                        yield Advance(batch_storage_busy)
-                    makespan += batch_storage_busy
-                    state["coupled_extra"] += batch_storage_busy
+                    # log force and storage writes before finishing (a
+                    # worker also absorbs the wait for any peer batches
+                    # its release unblocked).
+                    for rel_index, rel_seconds in released:
+                        if rel_seconds > 0:
+                            yield Advance(rel_seconds)
+                        if rel_index == index:
+                            makespan += rel_seconds
+                        state["coupled_extra"] += rel_seconds
                 state["computing_total"] += makespan
+                pool["worker_busy"][worker_name] += makespan
+                pool["last_busy"] = max(pool["last_busy"], runtime.clock.now)
                 report.num_computing_jobs += 1
                 batch_latencies.append(runtime.clock.now - batch_started)
                 report.batch_stats.append(
                     BatchStats(
-                        batch_index=report.num_computing_jobs - 1,
+                        batch_index=index,
                         records=total,
                         makespan_seconds=makespan,
                         startup_seconds=result.startup_seconds,
@@ -803,11 +903,99 @@ class DynamicIngestionPipeline:
                 )
                 if update_client is not None:
                     update_client.advance(makespan)
-                inflight["batch"] = None  # acked: storage owns it now
-            if not inflight["ended"]:
-                inflight["ended"] = True
+                inflight["index"] = None
+                inflight["batch"] = None  # acked: the sequencer released it
+            pool["running"] -= 1
+            pool["timeline"].append(
+                (runtime.clock.now - runtime.epoch, pool["running"])
+            )
+            if pool["running"] == 0 and not pool["ended"]:
+                pool["ended"] = True
                 if storage_channel is not None:
                     storage_channel.end()
+
+        def spawn_worker():
+            wid = pool["spawned"]
+            pool["spawned"] += 1
+            # worker 0 keeps the historical single-actor name; extra
+            # workers get a .wN suffix (fault targets matching the
+            # 'computing' layer hit them all)
+            name = (
+                f"{run_name}.computing"
+                if wid == 0
+                else f"{run_name}.computing.w{wid}"
+            )
+            pool["worker_busy"][name] = 0.0
+            pool["running"] += 1
+            pool["peak"] = max(pool["peak"], pool["running"])
+            pool["timeline"].append(
+                (runtime.clock.now - runtime.epoch, pool["running"])
+            )
+            inflight = {"index": None, "batch": None}
+            supervisor.spawn(
+                name, lambda: worker_loop(name, inflight), layer="computing"
+            )
+
+        def elastic_controller():
+            """Sample intake congestion on the clock; resize the pool.
+
+            Grover & Carey's congestion reaction, made real: sustained
+            high occupancy (or a blocked producer / fresh backpressure
+            stall) grows the pool toward ``max_computing_workers``;
+            sustained starvation retires workers back toward
+            ``min_computing_workers`` via cancel tokens claimed at the
+            next batch boundary.  The controller exits once the buffer is
+            drained after EOF, so it never outlives the feed.
+            """
+            up_streak = 0
+            down_streak = 0
+            last_stalls = buffer.stalls
+            while not (buffer.all_eof and buffer.drained):
+                yield Advance(policy.elastic_sample_seconds, state=IDLE)
+                if buffer.all_eof and buffer.drained:
+                    break
+                occupancy = buffer.occupancy
+                backlog = buffer.queued_records / batch_size
+                congested = (
+                    occupancy >= policy.elastic_scale_up_occupancy
+                    or buffer.producer_blocked
+                    or buffer.stalls > last_stalls
+                    or backlog >= policy.elastic_backlog_batches
+                )
+                starved = (
+                    occupancy <= policy.elastic_scale_down_occupancy
+                    and backlog < 1.0
+                    and not buffer.producer_blocked
+                )
+                last_stalls = buffer.stalls
+                if congested:
+                    up_streak += 1
+                    down_streak = 0
+                elif starved:
+                    down_streak += 1
+                    up_streak = 0
+                else:
+                    up_streak = 0
+                    down_streak = 0
+                effective = pool["running"] - pool["shrink"]
+                if (
+                    congested
+                    and up_streak >= policy.elastic_sustained_samples
+                    and effective < workers_max
+                ):
+                    if pool["shrink"] > 0:
+                        pool["shrink"] -= 1  # cancel a pending retire instead
+                    else:
+                        pool["scale_ups"] += 1
+                        spawn_worker()
+                    up_streak = 0
+                elif (
+                    down_streak >= policy.elastic_sustained_samples
+                    and effective > workers_min
+                ):
+                    pool["shrink"] += 1
+                    buffer.kick()  # wake an idle worker to claim the token
+                    down_streak = 0
 
         supervisor = Supervisor(runtime, policy.restart_policy())
         supervisor.spawn(
@@ -815,12 +1003,17 @@ class DynamicIngestionPipeline:
             intake.make_body(adapter, buffer, batch_size, policy, faults),
             layer="intake",
         )
-        supervisor.spawn(f"{run_name}.computing", computing_body, layer="computing")
+        for _ in range(workers_min):
+            spawn_worker()
         if decoupled:
             supervisor.spawn(
                 f"{run_name}.storage",
                 lambda: storage.process(storage_channel),
                 layer="storage",
+            )
+        if elastic:
+            runtime.spawn(
+                f"{run_name}.elastic", elastic_controller(), layer="elastic"
             )
 
         cluster.controller.begin_run(run_name)
@@ -836,15 +1029,31 @@ class DynamicIngestionPipeline:
                 faults.channel_send_failures = storage_channel.send_failures
 
         computing_total = state["computing_total"]
+        # With overlapping workers the layer's aggregate busy exceeds any
+        # wall-clock interval; the *bottleneck* contribution is the slowest
+        # single worker (identical to the aggregate when the pool size is 1).
+        computing_bottleneck = (
+            max(pool["worker_busy"].values()) if pool["worker_busy"] else 0.0
+        )
+        report.batch_stats.sort(key=lambda stats: stats.batch_index)
         report.records_ingested = intake.records_received
         report.records_stored = storage.records_stored
         report.intake_seconds = intake.max_busy
         report.computing_seconds = computing_total
+        report.computing_worker_busy = dict(pool["worker_busy"])
+        report.computing_wall_seconds = (
+            pool["last_busy"] - pool["first_busy"]
+            if pool["first_busy"] is not None
+            else 0.0
+        )
+        report.peak_computing_workers = pool["peak"]
+        report.scale_ups = pool["scale_ups"]
+        report.scale_downs = pool["scale_downs"]
         report.storage_seconds = storage.max_busy
         if decoupled:
-            steady = max(intake.max_busy, computing_total, storage.max_busy)
+            steady = max(intake.max_busy, computing_bottleneck, storage.max_busy)
         else:
-            steady = max(intake.max_busy, computing_total)
+            steady = max(intake.max_busy, computing_bottleneck)
         start_overhead = cost.job_startup(n, predeployed=False) * 2
         # The emergent makespan exceeds the bottleneck layer's busy time by
         # the pipeline's fill/drain ramp; like job startup, that ramp is a
@@ -864,5 +1073,9 @@ class DynamicIngestionPipeline:
             batch_latencies=batch_latencies,
             steady_state_seconds=steady,
             faults=faults,
+            worker_pool_timeline=pool["timeline"],
+            scale_ups=pool["scale_ups"],
+            scale_downs=pool["scale_downs"],
+            reordered_batches=sequencer.reordered,
         )
         return report

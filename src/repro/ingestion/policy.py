@@ -75,6 +75,48 @@ class FeedPolicy:
     backoff_initial_seconds: float = 0.05
     backoff_multiplier: float = 2.0
     backoff_max_seconds: float = 5.0
+    # computing worker-pool knobs: the feed runs ``min_computing_workers``
+    # concurrent computing actors, and — when ``max_computing_workers`` is
+    # larger — the elastic controller scales the pool between the bounds
+    # from sampled intake-buffer congestion.  A single-worker pool is
+    # byte-identical to the pre-pool single computing actor.
+    min_computing_workers: int = 1
+    max_computing_workers: int = 1
+    # elastic-controller knobs (only consulted when max > min): sample the
+    # intake buffer every ``elastic_sample_seconds`` of simulated time.
+    # A sample is *congested* when holder occupancy reaches the scale-up
+    # threshold, the producer is blocked (or stalled since the last
+    # sample), or at least ``elastic_backlog_batches`` full batches of
+    # records sit ready in the buffer; after
+    # ``elastic_sustained_samples`` consecutive congested samples the pool
+    # grows by one worker.  A sample is *starved* when occupancy is at or
+    # below the scale-down threshold, the producer is unblocked, and less
+    # than one full batch is queued; sustained starvation retires one
+    # worker.
+    elastic_sample_seconds: float = 0.02
+    elastic_scale_up_occupancy: float = 0.5
+    elastic_scale_down_occupancy: float = 0.05
+    elastic_backlog_batches: float = 2.0
+    elastic_sustained_samples: int = 2
+
+    def __post_init__(self):
+        if self.min_computing_workers < 1:
+            raise ValueError("min_computing_workers must be >= 1")
+        if self.max_computing_workers < self.min_computing_workers:
+            raise ValueError(
+                "max_computing_workers must be >= min_computing_workers"
+            )
+        if self.elastic_sample_seconds <= 0:
+            raise ValueError("elastic_sample_seconds must be positive")
+        if self.elastic_sustained_samples < 1:
+            raise ValueError("elastic_sustained_samples must be >= 1")
+        if self.elastic_backlog_batches <= 0:
+            raise ValueError("elastic_backlog_batches must be positive")
+
+    @property
+    def elastic_enabled(self) -> bool:
+        """True when the worker pool may be resized mid-run."""
+        return self.max_computing_workers > self.min_computing_workers
 
     # ------------------------------------------------------------- presets
 
@@ -123,8 +165,12 @@ class FeedPolicy:
 
     @classmethod
     def elastic(cls, **overrides) -> "FeedPolicy":
-        """*Elastic*: every knob open for tuning; defaults to dead-letter
-        soft errors, blocking congestion, and a generous restart budget."""
+        """*Elastic*: the congestion reaction is *scale out* — the feed may
+        grow its computing worker pool up to ``max_computing_workers``
+        under sustained intake congestion and shrink back when starved.
+        Soft errors dead-letter, congestion otherwise blocks, and the
+        restart budget is generous (workers are supervised individually).
+        """
         return replace(
             cls(
                 name="Elastic",
@@ -132,6 +178,7 @@ class FeedPolicy:
                 on_congestion=CongestionAction.BLOCK,
                 max_consecutive_soft_errors=64,
                 max_restarts=8,
+                max_computing_workers=4,
             ),
             **overrides,
         )

@@ -26,14 +26,17 @@ closed-form arithmetic:
 """
 
 from .channel import (
+    CANCELLED,
     CONGESTION_BLOCK,
     CONGESTION_DISCARD,
     CONGESTION_THROTTLE,
     Channel,
     IntakeBuffer,
+    Sequencer,
 )
 from .clock import Clock
 from .faults import (
+    AdapterFailAt,
     ChannelSendFailure,
     CrashAt,
     FaultPlan,
@@ -54,9 +57,11 @@ from .metrics import FaultMetrics, HolderStats, LayerTimes, RuntimeMetrics
 from .supervisor import RestartPolicy, SupervisedStats, Supervisor
 
 __all__ = [
+    "AdapterFailAt",
     "Advance",
     "BLOCKED",
     "BUSY",
+    "CANCELLED",
     "CONGESTION_BLOCK",
     "CONGESTION_DISCARD",
     "CONGESTION_THROTTLE",
@@ -75,6 +80,7 @@ __all__ = [
     "RestartPolicy",
     "Runtime",
     "RuntimeMetrics",
+    "Sequencer",
     "Signal",
     "StallAt",
     "SupervisedStats",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import PartitionHolderError
 from ..hyracks.frame import Frame
@@ -34,6 +34,18 @@ from .metrics import FaultMetrics
 CONGESTION_BLOCK = "block"
 CONGESTION_DISCARD = "discard"
 CONGESTION_THROTTLE = "throttle"
+
+
+class _Cancelled:
+    """Sentinel: a consumer was retired while waiting for work."""
+
+    def __repr__(self):
+        return "<CANCELLED>"
+
+
+#: returned by :meth:`IntakeBuffer.collect` when the consumer's ``cancel``
+#: hook claims it (elastic scale-down) instead of a batch arriving
+CANCELLED = _Cancelled()
 
 
 class Channel:
@@ -200,11 +212,31 @@ class IntakeBuffer:
             holder.end()
         self._data_ready.notify_all()
 
+    def kick(self) -> None:
+        """Wake every waiting consumer so cancel hooks are re-checked."""
+        self._data_ready.notify_all()
+
     # --------------------------------------------------------------- consumer
 
     @property
     def queued_records(self) -> int:
         return sum(holder.queued_records for holder in self.holders)
+
+    @property
+    def queued_frames(self) -> int:
+        return sum(len(holder) for holder in self.holders)
+
+    @property
+    def capacity_frames(self) -> int:
+        return sum(holder.capacity for holder in self.holders)
+
+    @property
+    def occupancy(self) -> float:
+        """Queued fraction of the buffer's total frame capacity, 0..1."""
+        capacity = self.capacity_frames
+        if capacity <= 0:
+            return 0.0
+        return self.queued_frames / capacity
 
     @property
     def all_eof(self) -> bool:
@@ -214,7 +246,7 @@ class IntakeBuffer:
     def drained(self) -> bool:
         return all(holder.drained for holder in self.holders)
 
-    def collect(self, batch_size: int):
+    def collect(self, batch_size: int, cancel=None):
         """Coroutine: assemble one batch of up to ``batch_size`` records.
 
         Returns per-partition record lists, or ``None`` once the buffer is
@@ -223,8 +255,16 @@ class IntakeBuffer:
         producer is blocked on a full holder — draining then is what
         relieves the backpressure, so a bounded buffer smaller than a
         batch cannot deadlock the feed.
+
+        ``cancel`` (optional callable) is polled before each wait; when it
+        returns true the consumer is retired and :data:`CANCELLED` is
+        returned instead of a batch — the elastic controller's scale-down
+        hand-shake.  Multiple consumers may collect concurrently; each
+        batch goes to exactly one of them.
         """
         while True:
+            if cancel is not None and cancel():
+                return CANCELLED
             queued = self.queued_records
             if queued >= batch_size:
                 break
@@ -259,3 +299,59 @@ class IntakeBuffer:
                 pulled[p].extend(extra)
                 remaining -= len(extra)
         return pulled
+
+
+class Sequencer:
+    """Order-preserving hand-off in front of a consumer of indexed work.
+
+    Concurrent producers (the computing worker pool) complete batches out
+    of index order; the storage layer's semantics — pk-upsert order, acked
+    guarantees, dead-letter provenance — require release in index order.
+    ``put(index, payload)`` stashes out-of-order payloads and, once the
+    next expected index arrives, synchronously calls ``release(payload)``
+    for each consecutive index and forwards each release's return value to
+    the optional downstream :class:`Channel`.
+
+    ``put`` is a coroutine (it may block on the downstream channel) and
+    returns the list of ``(index, release_result)`` pairs it released, so
+    a coupled pipeline can charge the released work to the caller.
+
+    Re-putting an index that was already released (a supervised worker
+    replaying its un-acked in-flight batch after a crash) releases it
+    again immediately — at-least-once semantics, with duplicate effects
+    resolved downstream exactly as single-actor replay resolves them.
+    """
+
+    def __init__(self, release, channel: Optional[Channel] = None):
+        self.release = release
+        self.channel = channel
+        self.next_index = 0
+        self._stash: Dict[int, object] = {}
+        self.reordered = 0  # puts that had to wait for an earlier index
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._stash)
+
+    def put(self, index: int, payload):
+        """Coroutine: hand off batch ``index``; releases all consecutive."""
+        out = []
+        if index < self.next_index:
+            # crash replay of an already-released batch: release again
+            result = self.release(payload)
+            self.released += 1
+            out.append((index, result))
+            if self.channel is not None:
+                yield from self.channel.put(result)
+            return out
+        self._stash[index] = payload
+        if index != self.next_index:
+            self.reordered += 1
+        while self.next_index in self._stash:
+            result = self.release(self._stash.pop(self.next_index))
+            self.released += 1
+            out.append((self.next_index, result))
+            self.next_index += 1
+            if self.channel is not None:
+                yield from self.channel.put(result)
+        return out

@@ -73,6 +73,24 @@ class ChannelSendFailure:
 
 
 @dataclass(frozen=True)
+class AdapterFailAt:
+    """The feed's adapter dies after drawing ``after_records`` envelopes.
+
+    Models a source that disconnects mid-``fetch`` (a dropped socket, a
+    rotated file): the intake actor closes the adapter and crashes; the
+    supervisor restarts it and the adapter is re-opened *from its resume
+    cursor* (:meth:`~repro.ingestion.adapter.FeedAdapter.resume_position`),
+    so no acked record is lost and no record is drawn twice.
+    """
+
+    after_records: int
+
+    def __post_init__(self):
+        if self.after_records < 0:
+            raise ValueError("after_records cannot be negative")
+
+
+@dataclass(frozen=True)
 class HolderDisconnect:
     """Partition holder ``holder_id``[``partition``] is unreachable during
     ``[at, at + duration)``; producers wait out the disconnect (blocked)."""
@@ -92,6 +110,7 @@ class FaultPlan:
         stalls: Sequence[StallAt] = (),
         channel_failures: Sequence[ChannelSendFailure] = (),
         disconnects: Sequence[HolderDisconnect] = (),
+        adapter_failures: Sequence[AdapterFailAt] = (),
         seed: int = 0,
     ):
         self.crashes: Tuple[CrashAt, ...] = tuple(crashes)
@@ -100,12 +119,17 @@ class FaultPlan:
             channel_failures
         )
         self.disconnects: Tuple[HolderDisconnect, ...] = tuple(disconnects)
+        self.adapter_failures: Tuple[AdapterFailAt, ...] = tuple(adapter_failures)
         self.seed = seed
 
     @property
     def empty(self) -> bool:
         return not (
-            self.crashes or self.stalls or self.channel_failures or self.disconnects
+            self.crashes
+            or self.stalls
+            or self.channel_failures
+            or self.disconnects
+            or self.adapter_failures
         )
 
     # -------------------------------------------------------------- queries
@@ -130,6 +154,10 @@ class FaultPlan:
             if failure.channel in channel_name and failure.put_index == put_index:
                 return failure
         return None
+
+    def adapter_failures_indexed(self) -> List[Tuple[int, AdapterFailAt]]:
+        """All adapter failures with plan indices (for consumed-tracking)."""
+        return list(enumerate(self.adapter_failures))
 
     def holder_disconnected_until(
         self, holder_id: str, partition: int, now: float
@@ -179,5 +207,6 @@ class FaultPlan:
         return (
             f"<FaultPlan crashes={len(self.crashes)} stalls={len(self.stalls)} "
             f"channel_failures={len(self.channel_failures)} "
-            f"disconnects={len(self.disconnects)} seed={self.seed}>"
+            f"disconnects={len(self.disconnects)} "
+            f"adapter_failures={len(self.adapter_failures)} seed={self.seed}>"
         )

@@ -197,7 +197,13 @@ class Runtime:
         self.processes.append(process)
         self._schedule(self.clock.now, process)
         if self.fault_plan is not None:
+            now = self.clock.now - self.epoch
             for crash in self.fault_plan.crashes_for(process.name, process.layer):
+                # A process spawned mid-run (an elastic worker scaled up
+                # after the crash's scheduled time) did not exist when the
+                # fault was due; it must not receive the interrupt late.
+                if crash.at < now - 1e-12:
+                    continue
                 self.interrupt_at(
                     self.epoch + crash.at, process, InjectedCrash(crash)
                 )

@@ -62,6 +62,8 @@ class FaultMetrics:
     throttle_seconds: float = 0.0  # admission throttling under congestion
     idle_timeouts: int = 0  # adapter idle-waits ended by policy timeout
     circuit_breaker_trips: int = 0
+    adapter_crashes: int = 0  # injected adapter deaths (source died mid-fetch)
+    adapter_reopens: int = 0  # adapter re-opened from its resume cursor
 
     def as_dict(self) -> Dict[str, float]:
         """Stable plain-dict form (what the chaos benchmark serializes)."""
@@ -80,6 +82,8 @@ class FaultMetrics:
             "throttle_seconds": self.throttle_seconds,
             "idle_timeouts": self.idle_timeouts,
             "circuit_breaker_trips": self.circuit_breaker_trips,
+            "adapter_crashes": self.adapter_crashes,
+            "adapter_reopens": self.adapter_reopens,
         }
 
     @property
@@ -120,6 +124,14 @@ class RuntimeMetrics:
     batch_latencies_seconds: List[float] = field(default_factory=list)
     #: failure/recovery counters (``None`` when the run had no fault layer)
     faults: Optional[FaultMetrics] = None
+    #: which layer each process belongs to (``{process_name: layer}``)
+    process_layers: Dict[str, str] = field(default_factory=dict)
+    #: computing worker-pool size over the run: ``(sim_seconds, size)``
+    #: steps, one entry per spawn/retire event (empty for static pipelines)
+    worker_pool_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    scale_ups: int = 0  # elastic controller grow events
+    scale_downs: int = 0  # elastic controller shrink events (workers retired)
+    reordered_batches: int = 0  # batches the sequencer held for an earlier one
 
     # ------------------------------------------------------------- assembly
 
@@ -132,6 +144,10 @@ class RuntimeMetrics:
         batch_latencies: Optional[List[float]] = None,
         steady_state_seconds: Optional[float] = None,
         faults: Optional[FaultMetrics] = None,
+        worker_pool_timeline: Optional[List[Tuple[float, int]]] = None,
+        scale_ups: int = 0,
+        scale_downs: int = 0,
+        reordered_batches: int = 0,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -141,6 +157,10 @@ class RuntimeMetrics:
             stall_count=stall_count,
             batch_latencies_seconds=list(batch_latencies or []),
             faults=faults,
+            worker_pool_timeline=list(worker_pool_timeline or []),
+            scale_ups=scale_ups,
+            scale_downs=scale_downs,
+            reordered_batches=reordered_batches,
         )
         for process in runtime.processes:
             metrics.processes[process.name] = LayerTimes(
@@ -149,6 +169,7 @@ class RuntimeMetrics:
                 blocked=process.totals[BLOCKED],
             )
             metrics.timelines[process.name] = list(process.timeline)
+            metrics.process_layers[process.name] = process.layer
             layer = metrics.layers.setdefault(process.layer, LayerTimes())
             layer.add(process.totals)
         for holder in holders or []:
@@ -159,6 +180,19 @@ class RuntimeMetrics:
 
     def layer(self, name: str) -> LayerTimes:
         return self.layers.get(name, LayerTimes())
+
+    def layer_process_times(self, layer_name: str) -> Dict[str, LayerTimes]:
+        """Per-process times for one layer (each computing worker's share)."""
+        return {
+            name: times
+            for name, times in self.processes.items()
+            if self.process_layers.get(name, name) == layer_name
+        }
+
+    @property
+    def peak_workers(self) -> int:
+        """Largest concurrent computing-pool size seen during the run."""
+        return max((size for _at, size in self.worker_pool_timeline), default=1)
 
     @property
     def holder_high_water(self) -> int:
@@ -204,6 +238,12 @@ class RuntimeMetrics:
                 f"  {name:<10} busy {times.busy:.4f}s  idle {times.idle:.4f}s  "
                 f"blocked {times.blocked:.4f}s  "
                 f"({times.utilization(self.makespan_seconds):.0%} utilized)"
+            )
+        if self.peak_workers > 1 or self.scale_ups or self.scale_downs:
+            lines.append(
+                f"  computing pool: peak {self.peak_workers} worker(s), "
+                f"{self.scale_ups} scale-up(s), {self.scale_downs} "
+                f"scale-down(s), {self.reordered_batches} reordered batch(es)"
             )
         if self.faults is not None and self.faults.any_activity:
             f = self.faults

@@ -106,6 +106,64 @@ class TestFileAdapter:
         adapter.close()  # idempotent
 
 
+class TestResumeCursor:
+    def test_file_adapter_tracks_last_yielded_line(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text("".join(f'{{"id": {i}}}\n' for i in range(1, 6)))
+        adapter = FileAdapter(str(path))
+        assert adapter.resume_position() == 0
+        stream = adapter.envelopes()
+        next(stream)
+        next(stream)
+        assert adapter.resume_position() == 2
+        stream.close()
+
+    def test_file_adapter_reopen_skips_through_cursor(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text("".join(f'{{"id": {i}}}\n' for i in range(1, 6)))
+        adapter = FileAdapter(str(path))
+        stream = adapter.envelopes()
+        first = [next(stream), next(stream)]
+        stream.close()  # the source dies mid-fetch
+        rest = list(adapter.envelopes(resume_from=adapter.resume_position()))
+        seqs = [e["seq"] for e in first + rest]
+        assert seqs == [1, 2, 3, 4, 5]  # no loss, no duplicates
+        ids = [json.loads(e["raw"])["id"] for e in first + rest]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_file_adapter_blank_lines_keep_line_number_cursor(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text('{"id": 1}\n\n{"id": 2}\n')
+        adapter = FileAdapter(str(path))
+        stream = adapter.envelopes()
+        next(stream)
+        next(stream)  # skips the blank line internally
+        assert adapter.resume_position() == 3
+        stream.close()
+        assert list(adapter.envelopes(resume_from=3)) == []
+
+    def test_queue_adapter_cursor_is_received_count(self):
+        adapter = QueueAdapter()
+        adapter.send_many(["a", "b", "c"])
+        stream = adapter.envelopes()
+        next(stream)
+        assert adapter.resume_position() == 1
+        # undrawn records survive in the queue: a re-open continues them
+        # with monotonically continuing seq numbers
+        adapter.end()
+        rest = list(adapter.envelopes(resume_from=adapter.resume_position()))
+        assert [e["seq"] for e in rest] == [1, 2]
+
+    def test_generator_adapter_cursor_is_received_count(self):
+        adapter = GeneratorAdapter(["a", "b", "c"])
+        stream = adapter.envelopes()
+        next(stream)
+        next(stream)
+        assert adapter.resume_position() == 2
+        rest = list(adapter.envelopes(resume_from=adapter.resume_position()))
+        assert [e["seq"] for e in rest] == [2]
+
+
 class TestDrainAvailable:
     def test_stops_at_first_idle(self):
         adapter = QueueAdapter()

@@ -1,0 +1,110 @@
+"""Dead-letter replay: repaired rows re-ingest, residue stays queryable."""
+
+import json
+
+import pytest
+
+from repro.core import AsterixLite
+from repro.errors import AdmParseError
+from repro.ingestion import FeedPolicy, GeneratorAdapter, replay_dead_letters
+
+
+def make_system(policy=None):
+    system = AsterixLite(num_nodes=2)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64 };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        """
+    )
+    system.create_feed("TweetFeed", {"type-name": "TweetType"})
+    system.connect_feed(
+        "TweetFeed", "Tweets", policy=policy or FeedPolicy.spill()
+    )
+    return system
+
+
+def raws_with_malformed(n, bad_ids):
+    return [
+        '{"id": %d, "text": ' % i if i in bad_ids else json.dumps({"id": i})
+        for i in range(n)
+    ]
+
+
+class TestReplayDeadLetters:
+    def _ingest_with_failures(self, bad_ids={4, 11}):
+        system = make_system()
+        adapter = GeneratorAdapter(raws_with_malformed(20, bad_ids))
+        report = system.start_feed("TweetFeed", adapter, batch_size=5)
+        assert report.faults.records_dead_lettered == len(bad_ids)
+        return system
+
+    def test_repaired_rows_land_in_target_and_clear(self):
+        system = self._ingest_with_failures()
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        # the operator repairs every broken row in place
+        for row in list(dead_letters.scan()):
+            repaired = dict(row)
+            repaired["raw"] = json.dumps({"id": row["seq"]})
+            dead_letters.upsert(repaired)
+
+        result = system.replay_dead_letters("TweetFeed", batch_size=5)
+        assert result.replayed == 2
+        assert result.records_stored == 2
+        assert result.still_dead == 0
+        assert len(dead_letters) == 0
+        stored = sorted(system.query("SELECT VALUE t.id FROM Tweets t"))
+        assert stored == list(range(20))
+
+    def test_still_broken_rows_return_to_dead_letters(self):
+        system = self._ingest_with_failures()
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        # repair only seq 4; seq 11 stays malformed
+        for row in list(dead_letters.scan()):
+            if row["seq"] == 4:
+                repaired = dict(row)
+                repaired["raw"] = json.dumps({"id": 4})
+                dead_letters.upsert(repaired)
+
+        result = replay_dead_letters(system, "TweetFeed", batch_size=5)
+        assert result.replayed == 2
+        assert result.records_stored == 1
+        assert result.still_dead == 1
+        residue = list(dead_letters.scan())
+        assert len(residue) == 1
+        assert "AdmParseError" in residue[0]["error"]
+        assert residue[0]["raw"].startswith('{"id": 11')
+
+    def test_replay_without_dead_letters_is_a_no_op(self):
+        system = make_system()
+        adapter = GeneratorAdapter(raws_with_malformed(10, set()))
+        system.start_feed("TweetFeed", adapter, batch_size=5)
+        result = system.replay_dead_letters("TweetFeed")
+        assert result.replayed == 0
+        assert result.run is None
+
+    def test_escalating_policy_restores_snapshot_on_abort(self):
+        system = self._ingest_with_failures()
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        before = sorted(row["dl_id"] for row in dead_letters.scan())
+        # a fail-fast policy aborts the replay run on the first still-bad
+        # row: every snapshot entry must survive
+        with pytest.raises(AdmParseError):
+            system.replay_dead_letters(
+                "TweetFeed", policy=FeedPolicy.basic()
+            )
+        after = sorted(row["dl_id"] for row in dead_letters.scan())
+        assert after == before
+
+    def test_replay_report_carries_provenance(self):
+        system = self._ingest_with_failures(bad_ids={3})
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        for row in list(dead_letters.scan()):
+            repaired = dict(row)
+            repaired["raw"] = json.dumps({"id": row["seq"]})
+            dead_letters.upsert(repaired)
+        result = system.replay_dead_letters("TweetFeed")
+        assert result.dead_letter_dataset == "TweetFeed_DeadLetters"
+        assert result.replayed_ids == ["parse#3"]
+        assert result.run is not None
+        assert result.run.records_stored == 1

@@ -74,6 +74,81 @@ def test_readme_fault_tolerance_snippet():
     assert len(dead) == 1 and dead[0]["seq"] == 1
 
 
+def test_readme_elastic_snippet():
+    from repro.ingestion import FeedPolicy
+
+    system = AsterixLite(num_nodes=3)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        CREATE TYPE WordType AS OPEN { wid: int64 };
+        CREATE DATASET SensitiveWords(WordType) PRIMARY KEY wid;
+        """
+    )
+    system.insert(
+        "SensitiveWords",
+        [{"wid": i, "country": "US", "word": f"w{i}"} for i in range(100)],
+    )
+    system.execute(
+        """
+        CREATE FUNCTION tweetSafetyCheck(tweet) {
+            LET flag = CASE
+                EXISTS(SELECT s FROM SensitiveWords s
+                       WHERE tweet.country = s.country AND
+                             contains(tweet.text, s.word))
+                WHEN true THEN "Red" ELSE "Green" END
+            SELECT tweet.*, flag
+        };
+        CREATE FEED TweetFeed WITH { "type-name": "TweetType" };
+        CONNECT FEED TweetFeed TO DATASET EnrichedTweets
+            APPLY FUNCTION tweetSafetyCheck;
+        """
+    )
+    raws = (
+        json.dumps({"id": i, "text": "...", "country": "US"})
+        for i in range(400)
+    )
+    policy = FeedPolicy.elastic()  # grow 1..4 workers on congestion
+    report = system.start_feed(
+        "TweetFeed", adapter=GeneratorAdapter(raws), batch_size=40,
+        policy=policy,
+    )
+    assert report.peak_computing_workers > 1
+    assert report.scale_ups >= 1
+    assert report.computing_concurrency > 1.0
+    assert report.computing_wall_seconds < report.computing_seconds
+    assert len(system.catalog["EnrichedTweets"]) == 400
+
+
+def test_readme_replay_snippet():
+    from repro.ingestion import FeedPolicy
+
+    system = AsterixLite(num_nodes=3)
+    system.execute(
+        """
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        """
+    )
+    system.create_feed("TweetFeed", {"type-name": "TweetType"})
+    system.connect_feed(
+        "TweetFeed", "EnrichedTweets", policy=FeedPolicy.spill()
+    )
+    raws = ['{"id": 1, "text": "ok"}', '{"id": 2, "text": ']
+    system.start_feed("TweetFeed", adapter=GeneratorAdapter(raws))
+    dead_letters = system.catalog["TweetFeed_DeadLetters"]
+    for row in list(dead_letters.scan()):
+        repaired = dict(row)
+        repaired["raw"] = '{"id": 2, "text": "repaired"}'
+        dead_letters.upsert(repaired)
+    result = system.replay_dead_letters("TweetFeed")
+    assert result.replayed == 1 and result.still_dead == 0
+    assert sorted(
+        r["id"] for r in system.catalog["EnrichedTweets"].scan()
+    ) == [1, 2]
+
+
 def test_module_docstring_quickstart():
     system = AsterixLite(num_nodes=3)
     system.execute(

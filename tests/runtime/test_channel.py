@@ -4,7 +4,23 @@ import pytest
 
 from repro.errors import PartitionHolderError
 from repro.hyracks import Frame, PassivePartitionHolder
-from repro.runtime import Advance, Channel, IntakeBuffer, Runtime
+from repro.runtime import (
+    CANCELLED,
+    Advance,
+    Channel,
+    IntakeBuffer,
+    Runtime,
+    Sequencer,
+)
+
+
+def drain(generator):
+    """Run a no-effect generator to completion; returns its return value."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
 
 
 class TestChannel:
@@ -201,3 +217,122 @@ class TestIntakeBuffer:
         runtime.spawn("c", consumer())
         runtime.run()
         assert results == [None]
+
+    def test_collect_cancel_returns_sentinel_before_waiting(self):
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime)
+        results = []
+
+        def consumer():
+            results.append(
+                (yield from buffer.collect(batch_size=4, cancel=lambda: True))
+            )
+
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert results == [CANCELLED]
+
+    def test_kick_wakes_idle_collector_to_see_cancel(self):
+        # an idle collector blocked on an empty buffer must notice a
+        # shrink token once kicked — the elastic scale-down handshake
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime)
+        flag = {"cancel": False}
+        results = []
+
+        def consumer():
+            results.append(
+                (
+                    yield from buffer.collect(
+                        batch_size=4, cancel=lambda: flag["cancel"]
+                    )
+                )
+            )
+
+        def controller():
+            yield Advance(1.0)
+            flag["cancel"] = True
+            buffer.kick()
+
+        runtime.spawn("c", consumer())
+        runtime.spawn("ctl", controller())
+        runtime.run()
+        assert results == [CANCELLED]
+        assert runtime.clock.now == pytest.approx(1.0)
+
+    def test_occupancy_counts_queued_frames(self):
+        runtime = Runtime()
+        buffer, _holders = make_buffer(runtime, partitions=2, capacity_frames=2)
+        assert buffer.occupancy == 0.0
+
+        def producer():
+            yield from buffer.put(0, Frame([{"id": 0}]))
+            yield from buffer.put(1, Frame([{"id": 1}]))
+            buffer.end()
+
+        runtime.spawn("p", producer())
+        runtime.run()
+        assert buffer.queued_frames == 2
+        assert buffer.capacity_frames == 4
+        assert buffer.occupancy == pytest.approx(0.5)
+
+
+class TestSequencer:
+    def test_in_order_batches_release_immediately(self):
+        released = []
+        sequencer = Sequencer(released.append)
+        assert drain(sequencer.put(0, "a")) == [(0, None)]
+        assert drain(sequencer.put(1, "b")) == [(1, None)]
+        assert released == ["a", "b"]
+        assert sequencer.reordered == 0
+
+    def test_out_of_order_batches_stash_until_gap_fills(self):
+        released = []
+        sequencer = Sequencer(released.append)
+        assert drain(sequencer.put(2, "c")) == []
+        assert drain(sequencer.put(1, "b")) == []
+        assert released == []
+        out = drain(sequencer.put(0, "a"))
+        assert [index for index, _r in out] == [0, 1, 2]
+        assert released == ["a", "b", "c"]
+        assert sequencer.reordered == 2
+        assert sequencer.next_index == 3
+
+    def test_duplicate_index_re_releases_for_replay(self):
+        # a crash-replayed batch re-arrives under its original index after
+        # the sequencer already advanced past it: release again (the
+        # at-least-once contract; pk-upsert dedups downstream)
+        released = []
+        sequencer = Sequencer(released.append)
+        drain(sequencer.put(0, "a"))
+        out = drain(sequencer.put(0, "a-replayed"))
+        assert out == [(0, None)]
+        assert released == ["a", "a-replayed"]
+        assert sequencer.next_index == 1  # replay does not advance the head
+
+    def test_release_results_flow_through(self):
+        sequencer = Sequencer(lambda payload: payload.upper())
+        assert drain(sequencer.put(0, "a")) == [(0, "A")]
+
+    def test_channel_hand_off_preserves_index_order(self):
+        runtime = Runtime()
+        channel = Channel(runtime, capacity=8)
+        sequencer = Sequencer(lambda payload: payload, channel)
+        got = []
+
+        def producer():
+            for index, payload in [(1, "b"), (2, "c"), (0, "a")]:
+                yield from sequencer.put(index, payload)
+            channel.end()
+
+        def consumer():
+            while True:
+                item = yield from channel.get()
+                if item is None:
+                    break
+                got.append(item)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        assert got == ["a", "b", "c"]

@@ -1,5 +1,7 @@
 """Deterministic fault injection: crashes, stalls, channel failures."""
 
+import json
+
 import pytest
 
 from repro.errors import InjectedCrash
@@ -7,6 +9,7 @@ from repro.hyracks import Frame, PassivePartitionHolder
 from repro.runtime import (
     BLOCKED,
     Advance,
+    AdapterFailAt,
     Channel,
     ChannelSendFailure,
     CrashAt,
@@ -132,6 +135,35 @@ class TestInjectedCrash:
         runtime.run()
         assert resumed == []
 
+    def test_late_spawned_process_skips_past_crashes(self):
+        # an elastic worker spawned after a scheduled crash time must not
+        # receive an interrupt dated before it existed
+        plan = FaultPlan(crashes=(CrashAt(at=0.5, target="worker"),))
+        runtime = Runtime(fault_plan=plan)
+        crashed = []
+
+        def early():
+            try:
+                yield Advance(2.0)
+            except InjectedCrash:
+                crashed.append("early")
+
+        def late():
+            try:
+                yield Advance(1.0)
+            except InjectedCrash:
+                crashed.append("late")
+
+        def spawner():
+            yield Advance(1.0)  # well past the crash schedule
+            runtime.spawn("late.worker", late())
+
+        runtime.spawn("early.worker", early())
+        runtime.spawn("spawner", spawner())
+        runtime.run()
+        assert crashed == ["early"]
+        assert runtime.injected_crashes == 1
+
     def test_crash_scheduled_after_process_ends_is_ignored(self):
         plan = FaultPlan(crashes=(CrashAt(at=5.0, target="worker"),))
         runtime = Runtime(fault_plan=plan)
@@ -253,6 +285,84 @@ class TestHolderDisconnect:
         assert holders[0].disconnects == 1
         assert holders[0].disconnected_seconds == pytest.approx(1.5)
         assert holders[1].disconnects == 0
+
+
+class TestAdapterFailure:
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ValueError):
+            AdapterFailAt(after_records=-1)
+
+    def test_plan_carries_adapter_failures(self):
+        fault = AdapterFailAt(after_records=10)
+        plan = FaultPlan(adapter_failures=(fault,))
+        assert not plan.empty
+        assert plan.adapter_failures_indexed() == [(0, fault)]
+        assert FaultPlan().adapter_failures_indexed() == []
+
+    def _run_feed(self, adapter, plan, records):
+        from repro.core import AsterixLite
+        from repro.ingestion import FeedPolicy
+
+        system = AsterixLite(num_nodes=2)
+        system.execute(
+            """
+            CREATE TYPE TweetType AS OPEN { id: int64 };
+            CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+            """
+        )
+        system.create_feed("TweetFeed", {"type-name": "TweetType"})
+        system.connect_feed("TweetFeed", "Tweets", policy=FeedPolicy.spill())
+        report = system.start_feed(
+            "TweetFeed", adapter, batch_size=25, fault_plan=plan
+        )
+        stored = sorted(r["id"] for r in system.catalog["Tweets"].scan())
+        return report, stored
+
+    def test_file_adapter_killed_mid_fetch_resumes_with_no_loss(self, tmp_path):
+        from repro.ingestion import FileAdapter
+
+        path = tmp_path / "tweets.json"
+        path.write_text(
+            "".join(json.dumps({"id": i}) + "\n" for i in range(200))
+        )
+        plan = FaultPlan(adapter_failures=(AdapterFailAt(after_records=70),))
+        report, stored = self._run_feed(FileAdapter(str(path)), plan, 200)
+        assert report.faults.adapter_crashes == 1
+        assert report.faults.adapter_reopens == 1
+        assert report.faults.restarts == 1  # the intake actor came back
+        # the re-opened source continued at the cursor: no loss, no dupes
+        assert stored == list(range(200))
+        assert report.records_ingested == 200
+
+    def test_generator_adapter_resumes_from_live_iterator(self):
+        from repro.ingestion import GeneratorAdapter
+
+        plan = FaultPlan(adapter_failures=(AdapterFailAt(after_records=30),))
+        adapter = GeneratorAdapter(
+            json.dumps({"id": i}) for i in range(100)
+        )
+        report, stored = self._run_feed(adapter, plan, 100)
+        assert report.faults.adapter_crashes == 1
+        assert report.faults.adapter_reopens == 1
+        assert stored == list(range(100))
+
+    def test_each_adapter_failure_fires_once(self, tmp_path):
+        from repro.ingestion import FileAdapter
+
+        path = tmp_path / "tweets.json"
+        path.write_text(
+            "".join(json.dumps({"id": i}) + "\n" for i in range(150))
+        )
+        plan = FaultPlan(
+            adapter_failures=(
+                AdapterFailAt(after_records=40),
+                AdapterFailAt(after_records=90),
+            )
+        )
+        report, stored = self._run_feed(FileAdapter(str(path)), plan, 150)
+        assert report.faults.adapter_crashes == 2
+        assert report.faults.adapter_reopens == 2
+        assert stored == list(range(150))
 
 
 class TestDeterminism:
