@@ -52,6 +52,14 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed fractional drop in planned rec/s vs the baseline",
     )
+    parser.add_argument(
+        "--interp-baseline-tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop in calibration-normalized "
+        "interpreter throughput vs the baseline (generous: the "
+        "normalization removes machine speed, not scheduler noise)",
+    )
     args = parser.parse_args(argv)
 
     records = args.records or (300 if args.smoke else 1500)
@@ -82,6 +90,21 @@ def main(argv=None) -> int:
         f"  planned {aggregate['planned_records_per_sec']:8.0f} rec/s"
         f"  ({aggregate['speedup']:.2f}x)"
     )
+    interpreter = result.get("interpreter", {})
+    if interpreter:
+        print(
+            f"  calibration: {result['calibration_ops_per_sec']:.0f} ops/s"
+        )
+        for key, case in interpreter["cases"].items():
+            print(
+                f"  interp {key:17s} {case['interpreted_records_per_sec']:8.0f} rec/s"
+                f"  normalized {case['normalized_throughput']:7.1f}"
+            )
+        interp_agg = interpreter["aggregate"]
+        print(
+            f"  interp {'aggregate':17s} {interp_agg['interpreted_records_per_sec']:8.0f} rec/s"
+            f"  normalized {interp_agg['normalized_throughput']:7.1f}"
+        )
     if aggregate["speedup"] < 1.0:
         print("FAIL: planned evaluation is slower than interpreted", file=sys.stderr)
         return 1
@@ -102,6 +125,30 @@ def main(argv=None) -> int:
                 print(
                     "FAIL: planned throughput regressed more than "
                     f"{args.baseline_tolerance:.0%} vs {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 1
+        # Interpreter gate: calibration-normalized throughput is
+        # machine-comparable (rec/s divided by a pure-Python ops/s score
+        # measured in the same run), so a drop beyond the tolerance means
+        # the interpreter itself got slower, not the machine.
+        recorded_interp = (
+            baseline.get("interpreter", {})
+            .get("aggregate", {})
+            .get("normalized_throughput")
+        )
+        if recorded_interp and interpreter:
+            current_interp = interpreter["aggregate"]["normalized_throughput"]
+            floor = recorded_interp * (1.0 - args.interp_baseline_tolerance)
+            print(
+                f"  baseline interp normalized {recorded_interp:.1f} "
+                f"(floor {floor:.1f} at {args.interp_baseline_tolerance:.0%} "
+                f"tolerance) -> current {current_interp:.1f}"
+            )
+            if current_interp < floor:
+                print(
+                    "FAIL: interpreter throughput regressed more than "
+                    f"{args.interp_baseline_tolerance:.0%} vs {args.baseline}",
                     file=sys.stderr,
                 )
                 return 1

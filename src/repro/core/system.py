@@ -137,8 +137,16 @@ class AsterixLite:
         self.registry.invalidate_plans()
 
     def plan_cache_stats(self) -> Dict[str, int]:
-        """Plan-cache counters: plans, hits, misses, invalidations."""
-        return self.registry.plan_cache.stats()
+        """Plan-cache + enrichment-state-cache counters.
+
+        Plan-cache keys are unprefixed (``plans``/``hits``/``misses``/
+        ``invalidations``); the cross-batch state cache's counters are
+        merged in under a ``state_cache_`` prefix.
+        """
+        stats = dict(self.registry.plan_cache.stats())
+        for key, value in self.registry.state_cache.stats().items():
+            stats[f"state_cache_{key}"] = value
+        return stats
 
     def create_function(self, source_or_definition) -> None:
         self.registry.register_sqlpp(source_or_definition)

@@ -55,6 +55,11 @@ class CostModel:
     inlj_broadcast_per_record: float = 200.0e-6  # ship+handle one probe
     #                       record on one receiving node (INLJ broadcast)
     java_resource_load_per_line: float = 1.0e-6
+    # Cross-batch state-cache reuse: a hit swaps the rebuild charges for a
+    # validation + pointer-install charge plus a small per-record touch
+    # (the reused table still occupies memory bandwidth when probed).
+    state_cache_hit: float = 8.0e-6  # version check + install one entry
+    state_cache_reuse_per_record: float = 0.05e-6  # per record reused
 
     # Storage side
     store_per_record: float = 18.0e-6  # LSM write incl. log flush share
@@ -130,6 +135,8 @@ class WorkMeter:
     java_ops: int = 0  # compiled-UDF inner-loop operations (scan/DP cells)
     index_fetches: int = 0  # random record fetches through an index
     broadcast_records: int = 0  # probe-record deliveries (record x node)
+    state_cache_hits: int = 0  # cross-batch build-state reuses
+    state_cache_reused_records: int = 0  # records inside reused state
     scale: float = 1.0  # reference work scale (not a counter)
 
     _COUNTERS = (
@@ -147,6 +154,8 @@ class WorkMeter:
         "java_ops",
         "index_fetches",
         "broadcast_records",
+        "state_cache_hits",
+        "state_cache_reused_records",
     )
     #: counters proportional to reference-data cardinality
     _SCALED = frozenset(
@@ -159,6 +168,7 @@ class WorkMeter:
             "penalized_reads",
             "java_ops",
             "index_fetches",
+            "state_cache_reused_records",
         }
     )
 
@@ -196,6 +206,9 @@ class WorkMeter:
             + scaled("java_ops") * cost.java_op_cost
             + scaled("index_fetches") * cost.btree_probe
             + scaled("broadcast_records") * cost.inlj_broadcast_per_record
+            + scaled("state_cache_hits") * cost.state_cache_hit
+            + scaled("state_cache_reused_records")
+            * cost.state_cache_reuse_per_record
             + scaled("penalized_reads")
             * cost.lsm_component_read
             * (cost.lsm_active_penalty - 1.0)

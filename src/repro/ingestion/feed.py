@@ -102,6 +102,13 @@ class FeedRunReport:
     peak_computing_workers: int = 1
     scale_ups: int = 0  # elastic pool grow events
     scale_downs: int = 0  # elastic pool shrink events
+    #: cross-batch enrichment-state cache activity during this run (all
+    #: zero when the policy leaves the cache disabled); ``bytes`` is the
+    #: cache's resident size at run end, not a per-run delta
+    state_cache_hits: int = 0
+    state_cache_misses: int = 0
+    state_cache_evictions: int = 0
+    state_cache_bytes: int = 0
     #: per-layer busy/idle/blocked timelines, holder high-water marks,
     #: stall counts, and batch latencies from the discrete-event runtime
     runtime: Optional["RuntimeMetrics"] = None

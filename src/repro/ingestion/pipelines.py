@@ -660,6 +660,12 @@ class DynamicIngestionPipeline:
             reference_work_scale=feed.reference_work_scale,
         )
         eval_ctx.cluster_nodes = n
+        if policy.state_cache_bytes > 0 and self.registry is not None:
+            # Opt-in cross-batch build-state reuse: the registry-owned
+            # cache is shared by every worker (and every feed) over this
+            # registry; the policy's budget bounds its resident bytes.
+            self.registry.state_cache.configure(policy.state_cache_bytes)
+            eval_ctx.state_cache = self.registry.state_cache
         invoker = (
             make_invoker(feed.functions, self.registry) if feed.functions else None
         )
@@ -764,6 +770,13 @@ class DynamicIngestionPipeline:
             intake_seconds=0.0,
             computing_seconds=0.0,
             storage_seconds=0.0,
+        )
+
+        # Per-run delta baseline for the shared (registry-owned, possibly
+        # multi-feed) state cache's cumulative counters.
+        state_cache = eval_ctx.state_cache
+        state_cache_before = (
+            state_cache.stats() if state_cache is not None else None
         )
 
         run_name = f"feed-{feed.name}"
@@ -1065,6 +1078,16 @@ class DynamicIngestionPipeline:
         report.fixed_start_seconds = report.simulated_seconds - steady
         report.stalls = buffer.stalls
         report.extra["deploy_seconds"] = cluster.controller.simulated_deploy_seconds
+        if state_cache is not None and state_cache_before is not None:
+            after = state_cache.stats()
+            report.state_cache_hits = after["hits"] - state_cache_before["hits"]
+            report.state_cache_misses = (
+                after["misses"] - state_cache_before["misses"]
+            )
+            report.state_cache_evictions = (
+                after["evictions"] - state_cache_before["evictions"]
+            )
+            report.state_cache_bytes = after["bytes"]
         report.runtime = RuntimeMetrics.from_runtime(
             runtime,
             holders=list(intake.holders) + list(storage.holders),
@@ -1077,5 +1100,9 @@ class DynamicIngestionPipeline:
             scale_ups=pool["scale_ups"],
             scale_downs=pool["scale_downs"],
             reordered_batches=sequencer.reordered,
+            state_cache_hits=report.state_cache_hits,
+            state_cache_misses=report.state_cache_misses,
+            state_cache_evictions=report.state_cache_evictions,
+            state_cache_bytes=report.state_cache_bytes,
         )
         return report

@@ -98,8 +98,15 @@ class FeedPolicy:
     elastic_scale_down_occupancy: float = 0.05
     elastic_backlog_batches: float = 2.0
     elastic_sustained_samples: int = 2
+    #: byte budget for the cross-batch enrichment-state cache (hash-join
+    #: build tables etc. reused across batches while the reference data's
+    #: version is unchanged).  ``0`` — the default — disables the cache
+    #: entirely, keeping exact per-batch-rebuild cost accounting.
+    state_cache_bytes: int = 0
 
     def __post_init__(self):
+        if self.state_cache_bytes < 0:
+            raise ValueError("state_cache_bytes must be >= 0")
         if self.min_computing_workers < 1:
             raise ValueError("min_computing_workers must be >= 1")
         if self.max_computing_workers < self.min_computing_workers:

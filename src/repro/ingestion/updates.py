@@ -34,10 +34,14 @@ class ReferenceUpdateClient:
         self._apply = apply
         self._carry = 0.0
         self.applied = 0
+        #: True once ``update_source`` raised StopIteration: the client is
+        #: permanently out of updates and later ``advance`` calls are
+        #: no-ops (they do not accumulate carry or count as activity)
+        self.exhausted = False
 
     def advance(self, sim_seconds: float) -> int:
         """Apply ``rate * sim_seconds`` updates; returns how many fired."""
-        if self.rate == 0 or sim_seconds <= 0:
+        if self.exhausted or self.rate == 0 or sim_seconds <= 0:
             return 0
         self._carry += self.rate * sim_seconds
         fired = 0
@@ -45,6 +49,7 @@ class ReferenceUpdateClient:
             try:
                 record = next(self._source)
             except StopIteration:
+                self.exhausted = True
                 self._carry = 0.0
                 break
             self._apply(record)
@@ -66,3 +71,8 @@ class CompositeUpdateClient:
     @property
     def applied(self) -> int:
         return sum(client.applied for client in self.clients)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every member client has run out of updates."""
+        return bool(self.clients) and all(c.exhausted for c in self.clients)

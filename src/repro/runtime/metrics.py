@@ -132,6 +132,12 @@ class RuntimeMetrics:
     scale_ups: int = 0  # elastic controller grow events
     scale_downs: int = 0  # elastic controller shrink events (workers retired)
     reordered_batches: int = 0  # batches the sequencer held for an earlier one
+    #: cross-batch enrichment-state cache activity during this run (zeros
+    #: when the feed policy leaves the cache disabled)
+    state_cache_hits: int = 0
+    state_cache_misses: int = 0
+    state_cache_evictions: int = 0
+    state_cache_bytes: int = 0  # resident bytes at run end (gauge)
 
     # ------------------------------------------------------------- assembly
 
@@ -148,6 +154,10 @@ class RuntimeMetrics:
         scale_ups: int = 0,
         scale_downs: int = 0,
         reordered_batches: int = 0,
+        state_cache_hits: int = 0,
+        state_cache_misses: int = 0,
+        state_cache_evictions: int = 0,
+        state_cache_bytes: int = 0,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -161,6 +171,10 @@ class RuntimeMetrics:
             scale_ups=scale_ups,
             scale_downs=scale_downs,
             reordered_batches=reordered_batches,
+            state_cache_hits=state_cache_hits,
+            state_cache_misses=state_cache_misses,
+            state_cache_evictions=state_cache_evictions,
+            state_cache_bytes=state_cache_bytes,
         )
         for process in runtime.processes:
             metrics.processes[process.name] = LayerTimes(

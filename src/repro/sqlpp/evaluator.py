@@ -76,6 +76,7 @@ from .plans import (
     truthy,
 )
 from .plans import find_access_path as _plan_find_access_path
+from .state_cache import StateCache, dataset_version_key
 
 
 class EvaluationContext:
@@ -89,6 +90,7 @@ class EvaluationContext:
         allow_index: bool = True,
         reference_work_scale: float = 1.0,
         use_plans: bool = True,
+        state_cache=None,
     ):
         self.catalog = catalog
         self.functions = functions  # repro.udf.FunctionRegistry or None
@@ -112,6 +114,11 @@ class EvaluationContext:
         self.plan_cache: PlanCache = (
             registry_cache if registry_cache is not None else PlanCache()
         )
+        # Cross-batch enrichment-state cache (version-keyed build reuse).
+        # ``None`` (the default) keeps exact per-batch-rebuild cost
+        # accounting; feed pipelines attach the registry-owned cache when
+        # the feed's policy grants a byte budget.
+        self.state_cache = state_cache
 
     def refresh_batch(self) -> None:
         """Drop all cached intermediate state (a new batch begins)."""
@@ -409,18 +416,44 @@ class Evaluator:
             if plan.cacheable:
                 key = ("uncorrelated", plan.token)
                 if key not in ctx.batch_cache:
-                    ctx.batch_cache[key] = self._planned_select(
+                    version_key = None
+                    if ctx.state_cache is not None:
+                        version_key = dataset_version_key(
+                            ctx.catalog, plan.dataset_deps
+                        )
+                        reused = self._reuse_cached_state(
+                            key, key, version_key
+                        )
+                        if reused is not None:
+                            return reused
+                    result = self._planned_select(
                         plan, env, meter=ctx.shared_meter
                     )
+                    ctx.batch_cache[key] = result
+                    if version_key is not None:
+                        self._install_built_state(
+                            key, version_key, result, len(result)
+                        )
                 return ctx.batch_cache[key]
             return self._planned_select(plan, env)
         fv = free_vars(block)
         if fv and all(name in ctx.catalog for name in fv):
             key = ("uncorrelated", ctx.plan_cache.token_for(block))
             if key not in ctx.batch_cache:
-                ctx.batch_cache[key] = self.evaluate_select(
+                version_key = None
+                if ctx.state_cache is not None:
+                    version_key = dataset_version_key(ctx.catalog, fv)
+                    reused = self._reuse_cached_state(key, key, version_key)
+                    if reused is not None:
+                        return reused
+                result = self.evaluate_select(
                     block, env, meter=ctx.shared_meter
                 )
+                ctx.batch_cache[key] = result
+                if version_key is not None:
+                    self._install_built_state(
+                        key, version_key, result, len(result)
+                    )
             return ctx.batch_cache[key]
         return self.evaluate_select(block, env)
 
@@ -637,10 +670,37 @@ class Evaluator:
             return int(reads * (0.15 + 4.0 * pressure))
         return int(reads * 0.35 * pressure**0.5)
 
+    def _reuse_cached_state(self, batch_key, state_key, version_key):
+        """Cross-batch StateCache lookup for one materialised-state key.
+
+        On a hit the cached object is installed into this generation's
+        ``batch_cache`` (pinning it against eviction for the rest of the
+        batch) and the *reuse* — not the avoided build — is metered onto
+        ``shared_meter`` so the win is observable instead of silent.
+        Returns the cached value or ``None``.
+        """
+        cache = self.ctx.state_cache
+        if cache is None:
+            return None
+        entry = cache.get(state_key, version_key)
+        if entry is None:
+            return None
+        self.ctx.batch_cache[batch_key] = entry.value
+        self.ctx.shared_meter.state_cache_hits += 1
+        self.ctx.shared_meter.state_cache_reused_records += entry.records
+        return entry.value
+
+    def _install_built_state(self, state_key, version_key, value, records):
+        cache = self.ctx.state_cache
+        if cache is not None:
+            cache.put(state_key, version_key, value, records)
+
     def _scan_dataset(self, dataset) -> List[dict]:
         """Batch-cached full scan (once per context generation)."""
         key = ("scan", dataset.name)
         cached = self.ctx.batch_cache.get(key)
+        if cached is None:
+            cached = self._reuse_cached_state(key, key, dataset.version)
         if cached is None:
             cached = list(dataset.scan())
             self.ctx.batch_cache[key] = cached
@@ -648,6 +708,7 @@ class Evaluator:
             self.ctx.shared_meter.penalized_reads += self._penalty_units(
                 dataset, len(cached)
             )
+            self._install_built_state(key, dataset.version, cached, len(cached))
         return cached
 
     def _hash_probe(self, dataset, field: str, probe_value) -> List[dict]:
@@ -655,10 +716,15 @@ class Evaluator:
 
         The build reads the generation's scan snapshot, so pre-warming the
         scan cache (as the stream-model pipeline does at feed start) freezes
-        the data the table will be built from.
+        the data the table will be built from.  With a StateCache attached,
+        a table built at the dataset's current committed version is reused
+        across batches until a write bumps the version — the UDF observes
+        updates at exactly the same batch boundaries as a rebuild would.
         """
         key = ("hash", dataset.name, field)
         table = self.ctx.batch_cache.get(key)
+        if table is None:
+            table = self._reuse_cached_state(key, key, dataset.version)
         if table is None:
             snapshot = self._scan_dataset(dataset)
             table = {}
@@ -668,6 +734,9 @@ class Evaluator:
                     table.setdefault(value, []).append(record)
             self.ctx.batch_cache[key] = table
             self.ctx.shared_meter.hash_builds += len(snapshot)
+            self._install_built_state(
+                key, dataset.version, table, len(snapshot)
+            )
         self.ctx.meter.hash_probes += 1
         if probe_value is MISSING or probe_value is None:
             return []

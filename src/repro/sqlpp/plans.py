@@ -678,6 +678,7 @@ class SelectPlan:
         "block",
         "token",
         "cacheable",
+        "dataset_deps",  # frozenset of referenced datasets when cacheable
         "catalog_names",
         "let_fns",
         "post_let_fns",
@@ -709,6 +710,9 @@ def build_select_plan(
     # Cacheable = uncorrelated: every free variable is a catalog dataset
     # (the stale-until-next-batch top-10 list of Figure 18).
     plan.cacheable = bool(fv) and fv <= catalog_names
+    # The datasets the cached result is derived from: the guard set for
+    # the cross-batch StateCache's version key (None when not cacheable).
+    plan.dataset_deps = frozenset(fv) if plan.cacheable else None
     plan.let_fns = tuple((let.var, compile_expr(let.expr)) for let in block.lets)
     plan.post_let_fns = tuple(
         (let.var, compile_expr(let.expr)) for let in block.post_lets

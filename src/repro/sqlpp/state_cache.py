@@ -1,0 +1,192 @@
+"""Cross-batch enrichment-state cache, keyed by reference-data version.
+
+The paper's computing job rebuilds all per-batch intermediate state (hash
+join build tables, batch-cached scans, uncorrelated top-k subquery
+results) on every invocation so that enrichment UDFs observe reference
+updates at batch boundaries (§5, §7.3).  When the reference dataset has
+*not* changed between two batches that rebuild is pure waste: the build
+input is byte-identical, so the build output is too.  Every
+:class:`~repro.storage.dataset.Dataset` carries a monotonic ``version``
+counter bumped on each committed write, which is exactly the proof needed
+— the classic view-maintenance observation (Gupta & Mumick) specialised
+to the degenerate "nothing changed" delta.
+
+This module implements that reuse as an LRU-by-bytes cache:
+
+* entries are keyed by the *identity* of the materialised state — e.g.
+  ``("scan", dataset_name)``, ``("hash", dataset_name, field)``,
+  ``("uncorrelated", plan_token)`` — and guarded by a **version key**
+  derived from the referenced dataset versions at build time;
+* :meth:`StateCache.get` returns the entry only when the stored version
+  key equals the current one, so *any* committed write (insert, upsert,
+  delete, dead-letter replay) between batches forces a rebuild at the
+  next batch boundary — precisely where the per-batch-rebuild baseline
+  would have picked the change up;
+* DDL and function changes clear the cache wholesale (the owning
+  :class:`~repro.udf.registry.FunctionRegistry` calls :meth:`clear` from
+  ``invalidate_plans``/``replace_sqlpp``), so ``create_index`` /
+  ``drop_index`` / ``load_dataset`` / ``CREATE OR REPLACE FUNCTION`` all
+  start the next batch from a cold build;
+* eviction (LRU by estimated bytes, against a per-feed configured
+  budget) only drops the *cache's* reference — a batch that already
+  installed the table into its per-batch ``batch_cache`` keeps using it
+  safely, so eviction can never invalidate state a worker is mid-probe
+  on.
+
+Semantics are therefore unchanged from per-batch rebuild: state is still
+stale-within-batch, and it refreshes at exactly the same batch
+boundaries.  Only the *cost* of the refresh changes, which is why the
+:class:`~repro.hyracks.cost.WorkMeter` grows explicit
+``state_cache_hits`` / ``state_cache_reused_records`` counters instead of
+silently dropping the build charges.
+
+Concurrency: the elastic worker pool shares one cache per feed (it hangs
+off the registry), but workers run on the cooperative discrete-event
+scheduler and a computing-job invocation is synchronous within one worker
+resume, so ``get``/``put`` never interleave mid-build.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: default per-entry overhead + per-record estimate used by
+#: :func:`estimate_record_bytes`; deliberately coarse — the budget is a
+#: working-set bound, not an accounting ledger.
+ENTRY_OVERHEAD_BYTES = 512
+RECORD_ESTIMATE_BYTES = 256
+
+
+def estimate_record_bytes(records: int) -> int:
+    """Cheap size estimate for a materialised state of ``records`` rows."""
+    return ENTRY_OVERHEAD_BYTES + RECORD_ESTIMATE_BYTES * max(0, int(records))
+
+
+class StateCacheEntry:
+    """One cached piece of build-side state."""
+
+    __slots__ = ("key", "version_key", "value", "records", "nbytes")
+
+    def __init__(self, key, version_key, value, records: int, nbytes: int):
+        self.key = key
+        self.version_key = version_key
+        self.value = value
+        self.records = records
+        self.nbytes = nbytes
+
+
+class StateCache:
+    """LRU-by-bytes cache of version-guarded enrichment state.
+
+    ``budget_bytes`` bounds the estimated resident size; ``put`` evicts
+    least-recently-used entries until the new entry fits.  An entry
+    larger than the whole budget is not admitted at all (it would only
+    evict everything and then thrash).
+    """
+
+    def __init__(self, budget_bytes: int = 0):
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[tuple, StateCacheEntry]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0  # full clears (DDL / function replace)
+        self.version_mismatches = 0  # stale entries displaced by a rebuild
+
+    # ---------------------------------------------------------------- config
+
+    def configure(self, budget_bytes: int) -> None:
+        """Set the byte budget (a feed policy attaching to this cache).
+
+        Shrinking the budget evicts immediately so a freshly attached
+        feed never observes the cache over its own bound.
+        """
+        self.budget_bytes = int(budget_bytes)
+        self._evict_to(self.budget_bytes)
+
+    # ---------------------------------------------------------------- lookup
+
+    def get(self, key: tuple, version_key) -> Optional[StateCacheEntry]:
+        """The entry for ``key`` iff it was built at ``version_key``.
+
+        A present-but-stale entry counts as a miss (and is left in place
+        — the subsequent :meth:`put` of the rebuilt state replaces it).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.version_key != version_key:
+            self.misses += 1
+            self.version_mismatches += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(
+        self, key: tuple, version_key, value, records: int,
+        nbytes: Optional[int] = None,
+    ) -> None:
+        """Install freshly built state under the current version key."""
+        if nbytes is None:
+            nbytes = estimate_record_bytes(records)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old.nbytes
+        if nbytes > self.budget_bytes:
+            return  # would thrash the whole cache; skip admission
+        self._evict_to(self.budget_bytes - nbytes)
+        self._entries[key] = StateCacheEntry(
+            key, version_key, value, records, nbytes
+        )
+        self.current_bytes += nbytes
+
+    def _evict_to(self, target_bytes: int) -> None:
+        while self._entries and self.current_bytes > target_bytes:
+            _key, entry = self._entries.popitem(last=False)
+            self.current_bytes -= entry.nbytes
+            self.evictions += 1
+
+    # ------------------------------------------------------------ management
+
+    def clear(self) -> None:
+        """Drop everything (DDL change / function replacement)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "version_mismatches": self.version_mismatches,
+        }
+
+
+def dataset_version_key(catalog: Dict[str, object], names) -> Tuple:
+    """The version key for state derived from several datasets.
+
+    Sorted ``(name, version)`` pairs: equal iff every referenced dataset
+    is at the same committed version as when the state was built.
+    """
+    return tuple(
+        (name, catalog[name].version) for name in sorted(names)
+        if name in catalog
+    )

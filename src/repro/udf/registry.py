@@ -9,6 +9,7 @@ from ..sqlpp.analysis import is_stateful, uses_unsupported_builtin
 from ..sqlpp.ast import FunctionDefinition
 from ..sqlpp.parser import parse_function
 from ..sqlpp.plans import PlanCache
+from ..sqlpp.state_cache import StateCache
 
 
 class SqlppUdf:
@@ -45,6 +46,10 @@ class FunctionRegistry:
         # contexts built over this registry share it, so plans survive
         # across batches and are invalidated centrally.
         self.plan_cache = PlanCache()
+        # Cross-batch enrichment-state cache (version-keyed build reuse).
+        # Owned here so every feed over this registry shares one bounded
+        # working set; disabled (budget 0) until a FeedPolicy grants bytes.
+        self.state_cache = StateCache()
         # Bumped on every registration change; prepared invokers re-resolve
         # their function when it moves (§3.2 instant updates).
         self.version = 0
@@ -90,13 +95,20 @@ class FunctionRegistry:
         self._sqlpp.pop(definition.name, None)
         udf = self.register_sqlpp(definition)
         # Old plans may close over the replaced body; drop them all so the
-        # next batch replans against the new definition.
+        # next batch replans against the new definition.  Cached build
+        # state may have been produced by the old body's subqueries, so it
+        # goes too.
         self.plan_cache.invalidate()
+        self.state_cache.clear()
         return udf
 
     def invalidate_plans(self) -> None:
         """Drop all cached plans (called on DDL: dataset/index changes)."""
         self.plan_cache.invalidate()
+        # DDL can change access paths and even dataset identity without
+        # bumping any Dataset.version (create_index/drop_index), so the
+        # version-keyed state cache must start cold as well.
+        self.state_cache.clear()
         self.version += 1
 
     # ----------------------------------------------------------------- java
@@ -153,10 +165,26 @@ class FunctionRegistry:
         The function is resolved (name lookup + arity) once per registry
         version, not once per record; a ``replace_sqlpp`` bumps the version
         so the next call re-resolves and picks up the new body (§3.2).
+
+        The parameter binding set of a UDF is static, so the per-record
+        hot path reuses one pooled ``Env`` (rebinding parameters in place)
+        and one ``Evaluator`` per evaluation context instead of allocating
+        fresh ones per record.  Nested/recursive invocations go through
+        :meth:`invoke` with their own fresh ``Env``, so the pooled scope is
+        only ever live for one top-level call at a time; a re-entrancy
+        guard falls back to allocation if that ever changes.
         """
         from ..sqlpp.evaluator import Env, Evaluator
 
-        state = {"version": -1, "udf": None, "params": None}
+        state = {
+            "version": -1,
+            "udf": None,
+            "params": None,
+            "ctx": None,
+            "evaluator": None,
+            "env": Env({}),
+            "busy": False,
+        }
 
         def invoke_prepared(args: List, ctx):
             if state["version"] != self.version:
@@ -169,8 +197,22 @@ class FunctionRegistry:
                 raise UdfError(
                     f"{name} expects {udf.arity} argument(s), got {len(args)}"
                 )
-            env = Env(dict(zip(state["params"], args)))
-            return Evaluator(ctx).evaluate(udf.definition.body, env)
+            if state["busy"]:
+                env = Env(dict(zip(state["params"], args)))
+                return Evaluator(ctx).evaluate(udf.definition.body, env)
+            if ctx is not state["ctx"]:
+                state["ctx"] = ctx
+                state["evaluator"] = Evaluator(ctx)
+            env = state["env"]
+            env_vars = env.vars
+            env_vars.clear()
+            for param, arg in zip(state["params"], args):
+                env_vars[param] = arg
+            state["busy"] = True
+            try:
+                return state["evaluator"].evaluate(udf.definition.body, env)
+            finally:
+                state["busy"] = False
 
         return invoke_prepared
 

@@ -44,6 +44,26 @@ class TestReferenceUpdateClient:
         assert client.advance(1.0) == 1
         assert client.advance(1.0) == 0
 
+    def test_exhaustion_is_surfaced_and_stops_activity(self):
+        """Regression: exhaustion used to silently zero ``_carry`` while
+        still accepting ``advance`` calls as if updates kept flowing."""
+        applied = []
+        client = ReferenceUpdateClient(10.0, iter([{"id": 1}]), applied.append)
+        assert not client.exhausted
+        client.advance(1.0)
+        assert client.exhausted
+        # Subsequent advances are no-ops: no carry accumulates, nothing
+        # fires, the applied counter stays frozen.
+        assert client.advance(5.0) == 0
+        assert client._carry == 0.0
+        assert client.applied == 1
+        assert applied == [{"id": 1}]
+
+    def test_unexhausted_client_not_flagged(self):
+        client = make_client(1.0, [])
+        client.advance(10.0)
+        assert not client.exhausted
+
     def test_applied_counter(self):
         client = make_client(5.0, [])
         client.advance(2.0)
@@ -72,3 +92,15 @@ class TestCompositeClient:
         assert fired == 3
         assert composite.applied == 3
         assert len(a) == 1 and len(b) == 2
+
+    def test_exhausted_only_when_all_members_are(self):
+        finite = ReferenceUpdateClient(
+            10.0, iter([{"id": 1}]), lambda r: None
+        )
+        endless = make_client(1.0, [])
+        composite = CompositeUpdateClient([finite, endless])
+        composite.advance(1.0)
+        assert finite.exhausted
+        assert not composite.exhausted
+        alone = CompositeUpdateClient([finite])
+        assert alone.exhausted

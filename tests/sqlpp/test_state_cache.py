@@ -1,0 +1,219 @@
+"""The cross-batch enrichment-state cache (version-keyed build reuse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlpp import EvaluationContext
+from repro.sqlpp.state_cache import (
+    ENTRY_OVERHEAD_BYTES,
+    RECORD_ESTIMATE_BYTES,
+    StateCache,
+    dataset_version_key,
+    estimate_record_bytes,
+)
+
+
+def entry_bytes(records: int) -> int:
+    return ENTRY_OVERHEAD_BYTES + RECORD_ESTIMATE_BYTES * records
+
+
+class TestStateCacheUnit:
+    def test_hit_requires_matching_version(self):
+        cache = StateCache(budget_bytes=1 << 20)
+        cache.put(("hash", "R", "f"), 3, {"a": [1]}, records=1)
+        assert cache.get(("hash", "R", "f"), 3).value == {"a": [1]}
+        assert cache.get(("hash", "R", "f"), 4) is None  # stale version
+        assert cache.get(("hash", "Q", "f"), 3) is None  # absent key
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["version_mismatches"] == 1
+
+    def test_put_replaces_stale_entry(self):
+        cache = StateCache(budget_bytes=1 << 20)
+        cache.put(("scan", "R"), 1, ["old"], records=1)
+        cache.put(("scan", "R"), 2, ["new"], records=1)
+        assert len(cache) == 1
+        assert cache.get(("scan", "R"), 2).value == ["new"]
+        assert cache.current_bytes == entry_bytes(1)
+
+    def test_lru_eviction_by_bytes(self):
+        budget = entry_bytes(10) * 2  # room for two 10-record entries
+        cache = StateCache(budget_bytes=budget)
+        cache.put(("scan", "A"), 1, "a", records=10)
+        cache.put(("scan", "B"), 1, "b", records=10)
+        cache.get(("scan", "A"), 1)  # touch A: B becomes LRU
+        cache.put(("scan", "C"), 1, "c", records=10)
+        assert ("scan", "A") in cache
+        assert ("scan", "B") not in cache
+        assert ("scan", "C") in cache
+        assert cache.stats()["evictions"] == 1
+        assert cache.current_bytes <= budget
+
+    def test_oversized_entry_not_admitted(self):
+        cache = StateCache(budget_bytes=entry_bytes(10))
+        cache.put(("scan", "A"), 1, "a", records=5)
+        cache.put(("scan", "BIG"), 1, "big", records=1000)
+        # The oversized entry is rejected without flushing the cache.
+        assert ("scan", "BIG") not in cache
+        assert ("scan", "A") in cache
+        assert cache.stats()["evictions"] == 0
+
+    def test_configure_shrink_evicts_immediately(self):
+        cache = StateCache(budget_bytes=entry_bytes(10) * 4)
+        for name in "ABCD":
+            cache.put(("scan", name), 1, name, records=10)
+        cache.configure(entry_bytes(10))
+        assert len(cache) == 1
+        assert cache.current_bytes <= entry_bytes(10)
+
+    def test_clear_counts_invalidation(self):
+        cache = StateCache(budget_bytes=1 << 20)
+        cache.put(("scan", "A"), 1, "a", records=1)
+        cache.clear()
+        cache.clear()  # empty clear is not counted
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_eviction_never_invalidates_a_pinned_value(self):
+        """A batch that installed the value into its batch cache keeps a
+        strong reference, so eviction only drops the cache's own ref."""
+        cache = StateCache(budget_bytes=entry_bytes(10))
+        table = {"k": ["v"]}
+        cache.put(("hash", "R", "f"), 1, table, records=10)
+        pinned = cache.get(("hash", "R", "f"), 1).value
+        cache.put(("hash", "S", "f"), 1, {"other": []}, records=10)  # evicts R
+        assert ("hash", "R", "f") not in cache
+        assert pinned is table and pinned["k"] == ["v"]
+
+    def test_estimate_record_bytes(self):
+        assert estimate_record_bytes(0) == ENTRY_OVERHEAD_BYTES
+        assert estimate_record_bytes(4) == entry_bytes(4)
+        assert estimate_record_bytes(-3) == ENTRY_OVERHEAD_BYTES
+
+    def test_dataset_version_key_sorted_and_filtered(self):
+        class FakeDs:
+            def __init__(self, version):
+                self.version = version
+
+        catalog = {"B": FakeDs(7), "A": FakeDs(2)}
+        key = dataset_version_key(catalog, {"B", "A", "Missing"})
+        assert key == (("A", 2), ("B", 7))
+
+
+@pytest.fixture
+def cached_ctx(small_catalog, registry):
+    ctx = EvaluationContext(small_catalog, functions=registry)
+    ctx.state_cache = StateCache(budget_bytes=8 << 20)
+    return ctx
+
+
+class TestEvaluatorIntegration:
+    def _invoke(self, registry, ctx, tweet):
+        return registry.invoke("enrichTweetQ1", [tweet], ctx)
+
+    def test_hash_build_reused_across_batches(
+        self, cached_ctx, registry, sample_tweet
+    ):
+        ctx = cached_ctx
+        self._invoke(registry, ctx, sample_tweet)
+        builds_first = ctx.shared_meter.hash_builds
+        assert builds_first > 0
+        assert ctx.shared_meter.state_cache_hits == 0
+
+        ctx.refresh_batch()
+        ctx.shared_meter.reset()
+        out = self._invoke(registry, ctx, sample_tweet)
+        # Second batch: the build table (and its scan) come from the
+        # cache — no rebuild charges, explicit reuse charges instead.
+        assert ctx.shared_meter.hash_builds == 0
+        assert ctx.shared_meter.records_scanned == 0
+        assert ctx.shared_meter.state_cache_hits > 0
+        assert ctx.shared_meter.state_cache_reused_records > 0
+        assert out == self._fresh_output(registry, ctx, sample_tweet)
+
+    def _fresh_output(self, registry, ctx, tweet):
+        fresh = EvaluationContext(ctx.catalog, functions=registry)
+        return registry.invoke("enrichTweetQ1", [tweet], fresh)
+
+    def test_version_bump_forces_rebuild(
+        self, cached_ctx, registry, sample_tweet
+    ):
+        ctx = cached_ctx
+        self._invoke(registry, ctx, sample_tweet)
+        ratings = ctx.catalog["SafetyRatings"]
+        ratings.upsert(
+            {"country_code": sample_tweet["country"], "safety_rating": "1"}
+        )
+        ctx.refresh_batch()
+        ctx.shared_meter.reset()
+        out = self._invoke(registry, ctx, sample_tweet)
+        assert ctx.shared_meter.hash_builds > 0  # rebuilt, not reused
+        assert ctx.state_cache.stats()["version_mismatches"] >= 1
+        # The rebuild observes the update — same freshness as baseline.
+        assert out[0]["safety_rating"] == ["1"]
+
+    def test_stale_within_batch_semantics_preserved(
+        self, cached_ctx, registry, sample_tweet
+    ):
+        """An update *inside* a batch stays invisible until the next
+        batch boundary, exactly like the per-batch-rebuild baseline."""
+        ctx = cached_ctx
+        before = self._invoke(registry, ctx, sample_tweet)
+        ctx.catalog["SafetyRatings"].upsert(
+            {"country_code": sample_tweet["country"], "safety_rating": "1"}
+        )
+        within = self._invoke(registry, ctx, sample_tweet)
+        assert within == before  # stale within the batch
+        ctx.refresh_batch()
+        after = self._invoke(registry, ctx, sample_tweet)
+        assert after[0]["safety_rating"] == ["1"]
+
+    def test_interpreted_path_uses_cache_too(
+        self, small_catalog, registry, sample_tweet
+    ):
+        ctx = EvaluationContext(
+            small_catalog, functions=registry, use_plans=False
+        )
+        ctx.state_cache = StateCache(budget_bytes=8 << 20)
+        planned_ctx = EvaluationContext(small_catalog, functions=registry)
+        planned_ctx.state_cache = StateCache(budget_bytes=8 << 20)
+        for c in (ctx, planned_ctx):
+            registry.invoke("enrichTweetQ1", [sample_tweet], c)
+            c.refresh_batch()
+            c.shared_meter.reset()
+        out_interp = registry.invoke("enrichTweetQ1", [sample_tweet], ctx)
+        out_planned = registry.invoke(
+            "enrichTweetQ1", [sample_tweet], planned_ctx
+        )
+        assert out_interp == out_planned
+        assert ctx.shared_meter.state_cache_hits > 0
+        assert (
+            ctx.shared_meter.state_cache_hits
+            == planned_ctx.shared_meter.state_cache_hits
+        )
+
+    def test_no_cache_attached_means_no_counters(
+        self, small_catalog, registry, sample_tweet
+    ):
+        ctx = EvaluationContext(small_catalog, functions=registry)
+        assert ctx.state_cache is None
+        registry.invoke("enrichTweetQ1", [sample_tweet], ctx)
+        ctx.refresh_batch()
+        registry.invoke("enrichTweetQ1", [sample_tweet], ctx)
+        assert ctx.shared_meter.state_cache_hits == 0
+        assert ctx.shared_meter.state_cache_reused_records == 0
+
+    def test_registry_invalidate_plans_clears_cache(self, registry):
+        registry.state_cache.put(("scan", "R"), 1, [], records=0)
+        registry.invalidate_plans()
+        assert len(registry.state_cache) == 0
+
+    def test_replace_sqlpp_clears_cache(self, registry):
+        registry.state_cache.put(("scan", "R"), 1, [], records=0)
+        registry.replace_sqlpp(
+            "CREATE FUNCTION enrichTweetQ1(t) { SELECT t.* }"
+        )
+        assert len(registry.state_cache) == 0
