@@ -74,3 +74,29 @@ def test_fig28_reference_scaleout(benchmark, emit):
         assert final > 0.5 * base, (case, base, final)
         # ...but the growing execution overhead shows: no case speeds up 2x
         assert final < 2.0 * base, (case, base, final)
+
+
+def test_fig28_partitioned_intake_parity(harness):
+    """The figure's sweep on the real partitioned intake path.
+
+    Partitioned intake is an execution-path change, not a workload
+    change: running a figure configuration with 4 real intake partitions
+    must store the same records and land in the same throughput
+    neighborhood as the single-lane run (intake is not the bottleneck
+    for the enrichment cases, so the gain is bounded)."""
+    tweets = env_tweets(800)
+    case = SIMPLE_CASES[0]
+    single = harness.run_enrichment(
+        case, tweets, 6, batch_size=BATCH_SIZES["16X"], language="sqlpp"
+    )
+    partitioned = harness.run_enrichment(
+        case, tweets, 6, batch_size=BATCH_SIZES["16X"], language="sqlpp",
+        intake_partitions=4,
+    )
+    assert partitioned.intake_partitions == 4
+    assert len(partitioned.intake_partition_busy) == 4
+    assert partitioned.records_stored == single.records_stored
+    # partitioning the intake lane never makes the feed slower, and on a
+    # compute-bound enrichment it cannot make it much faster either
+    assert partitioned.throughput >= 0.9 * single.throughput
+    assert partitioned.throughput <= 2.0 * single.throughput

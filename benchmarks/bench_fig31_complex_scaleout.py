@@ -93,3 +93,28 @@ def test_fig31_complex_scaleout(harness, benchmark, emit):
     # gains level off: 24 nodes is less than the ideal 4x over 6 nodes
     for case in CASES:
         assert throughput[(case, 24)] < 4.5 * throughput[(case, 6)], case
+
+
+def test_fig31_partitioned_subbatch_parity(harness):
+    """One complex-UDF configuration on the real scaled-out path.
+
+    Runs Suspicious Names with 4 intake partitions, a 4-worker pool,
+    and quarter-batch splits — the full partitioned pipeline — and
+    checks it stores exactly what the single-lane run stores."""
+    tweets = env_tweets(800)
+    batch = BATCH_SIZES["16X"]
+    single = harness.run_enrichment(
+        "suspicious_names", tweets, 6, batch_size=batch, language="sqlpp"
+    )
+    scaled = harness.run_enrichment(
+        "suspicious_names", tweets, 6, batch_size=batch, language="sqlpp",
+        # the stream is shorter than one 16X batch, so split on a quarter
+        # of the actual batch record count
+        intake_partitions=4, max_subbatch_records=tweets // 4,
+        computing_workers=4,
+    )
+    assert scaled.intake_partitions == 4
+    assert scaled.subbatches_dispatched > 0
+    assert scaled.records_stored == single.records_stored
+    # the pool + splits may help; they must never hurt
+    assert scaled.runtime.makespan_seconds <= single.runtime.makespan_seconds * 1.05

@@ -1,0 +1,86 @@
+"""Scale-out benchmark: intake partitions x sub-batch splits + restart.
+
+Sweeps the real partitioned execution path:
+
+* intake partitions 1/2/4 on an intake-bound plain feed — verifies
+  >= 1.8x simulated makespan improvement at 4 partitions and identical
+  output hashes at every partition count;
+* sub-batch splits (unsplit / half / quarter batches) on one oversized
+  Tweet Context batch over a 4-worker pool — verifies >= 1.5x at
+  quarter splits with identical hashes;
+* a durable-restart cycle: a partitioned + sub-batched file feed killed
+  mid-run, resumed from its on-disk checkpoint with fresh adapters —
+  verifies no acked loss and a byte-identical final dataset.
+
+Output goes to ``BENCH_scaleout.json`` at the repo root (simulated
+numbers; ``benchmarks/results/`` holds the paper-figure tables only).
+
+Usage::
+
+    python benchmarks/bench_scaleout.py            # full run
+    python benchmarks/bench_scaleout.py --smoke    # quick CI run
+
+Exits non-zero if any invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI (fewer records)",
+    )
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scaleout.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = args.records or (2400 if args.smoke else 4800)
+    batch_size = args.batch_size or (240 if args.smoke else 480)
+
+    from repro.bench.scaleout import run_scaleout
+
+    result = run_scaleout(records=records, batch_size=batch_size)
+    result["mode"] = "smoke" if args.smoke else "full"
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"scale-out benchmark -> {args.output}")
+    print(
+        f"  intake speedup at 4 partitions: "
+        f"{result['intake_speedup_at_max_partitions']:.2f}x "
+        f"(floor {result['intake_speedup_floor']}x)"
+    )
+    print(
+        f"  sub-batch speedup at quarter splits: "
+        f"{result['subbatch_speedup_at_quarter_splits']:.2f}x "
+        f"(floor {result['subbatch_speedup_floor']}x)"
+    )
+    restart = result["restart"]
+    print(
+        f"  restart: interrupted after {restart['acked_batches_at_crash']} "
+        f"acked batch(es) / {restart['records_stored_at_crash']} records, "
+        f"resume re-ingested {restart['resumed_records_ingested']} of "
+        f"{restart['records']}"
+    )
+    for name, passed in result["checks"].items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -224,10 +224,22 @@ class ExperimentHarness:
         predeploy: bool = True,
         decoupled: bool = True,
         stream_memory_budget: Optional[int] = None,
+        intake_partitions: int = 1,
+        max_subbatch_records: int = 0,
+        computing_workers: int = 1,
+        state_cache_bytes: int = 0,
     ) -> FeedRunReport:
         """Run one feed configuration and return its report.
 
         ``use_case=None`` runs the no-UDF basic-ingestion feed (Fig. 24).
+
+        ``intake_partitions > 1`` runs partitioned intake: the tweet
+        stream is round-robin pre-split across that many adapters, one
+        intake actor each (dynamic framework only).
+        ``max_subbatch_records`` caps the records one computing invocation
+        handles — oversized batches are split across the worker pool and
+        reassembled in order (intra-batch parallelism);
+        ``computing_workers`` sizes that (fixed) pool.
         """
         case = USE_CASES[use_case] if use_case else None
         catalog = self.catalog_for(case.datasets if case else [])
@@ -262,12 +274,41 @@ class ExperimentHarness:
         )
         if stream_memory_budget is not None:
             feed.stream_memory_budget = stream_memory_budget
+        if (
+            intake_partitions > 1
+            or max_subbatch_records > 0
+            or computing_workers > 1
+            or state_cache_bytes > 0
+        ):
+            from ..ingestion.policy import FeedPolicy
+
+            # FeedPolicy.basic() mirrors the no-policy default, so the
+            # scale-out knobs are the only behavioral difference
+            feed.policy = FeedPolicy.basic(
+                intake_partitions=intake_partitions,
+                max_subbatch_records=max_subbatch_records,
+                min_computing_workers=computing_workers,
+                max_computing_workers=computing_workers,
+                state_cache_bytes=state_cache_bytes,
+            )
         # Charge reference-data work at the harness's configured scale
         # (by default: as if the datasets were at paper cardinality).
         feed.reference_work_scale = self.reference_work_scale
 
         cluster = Cluster(num_nodes)
-        adapter = GeneratorAdapter(self.workload.tweet_generator.raw_json(tweets))
+        if intake_partitions > 1:
+            # round-robin pre-split of the deterministic tweet stream:
+            # partition p streams tweets p, p+N, p+2N, ... — the union is
+            # exactly the single-adapter stream
+            raw = list(self.workload.tweet_generator.raw_json(tweets))
+            adapter = [
+                GeneratorAdapter(iter(raw[p::intake_partitions]))
+                for p in range(intake_partitions)
+            ]
+        else:
+            adapter = GeneratorAdapter(
+                self.workload.tweet_generator.raw_json(tweets)
+            )
 
         update_client = None
         if update_rate > 0 and case is not None and case.update_dataset:

@@ -19,7 +19,7 @@ methods.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..adm.schema import make_type
 from ..adm.types import Datatype
@@ -42,6 +42,7 @@ from ..ingestion.pipelines import (
 from ..ingestion.policy import FeedPolicy
 from ..runtime.faults import FaultPlan
 from ..sqlpp.compiler import QueryCompiler, run_insert
+from ..storage.checkpoint import CheckpointStore
 from ..sqlpp.evaluator import EvaluationContext, Evaluator
 from ..sqlpp.parser import parse_statements
 from ..sqlpp.statements import (
@@ -190,7 +191,7 @@ class AsterixLite:
     def start_feed(
         self,
         feed: str,
-        adapter: Optional[FeedAdapter] = None,
+        adapter: Optional[Union[FeedAdapter, Sequence[FeedAdapter]]] = None,
         framework: Union[str, Framework] = Framework.DYNAMIC,
         batch_size: int = 420,
         balanced_intake: bool = False,
@@ -198,6 +199,8 @@ class AsterixLite:
         update_client=None,
         policy: Optional[FeedPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume: bool = False,
     ) -> FeedRunReport:
         """Run the feed to adapter exhaustion; returns the run report.
 
@@ -205,19 +208,37 @@ class AsterixLite:
         it until the adapter's stream ends (a ``QueueAdapter`` ends when its
         producer calls ``end()``, which is the STOP FEED analog).
 
+        ``adapter`` can be a sequence for partitioned intake (one adapter
+        per intake partition), or a single splittable adapter combined
+        with a policy whose ``intake_partitions`` exceeds one.
+
         ``policy`` overrides the policy attached at ``connect_feed`` time
         for this run only; ``fault_plan`` injects a deterministic schedule
         of actor crashes/stalls/disconnects (chaos testing).
+
+        ``checkpoint`` (a :class:`~repro.storage.CheckpointStore`) makes
+        the run durably restartable (dynamic framework only): see
+        :meth:`resume_run`.
         """
         state = self._feed(feed)
         if state.target_dataset is None:
             raise FeedStateError(f"feed {feed!r} is not connected to a dataset")
         if state.running:
             raise FeedStateError(f"feed {feed!r} is already running")
-        adapter = adapter or state.adapter
+        adapter = adapter if adapter is not None else state.adapter
         if adapter is None:
             raise FeedStateError(f"feed {feed!r} has no adapter")
         framework = Framework(framework) if isinstance(framework, str) else framework
+        if framework is Framework.STATIC and checkpoint is not None:
+            raise FeedStateError(
+                "durable checkpoints need the dynamic framework (the static "
+                "pipeline is one monolithic job with no restart cursor)"
+            )
+        if framework is Framework.STATIC and not isinstance(adapter, FeedAdapter):
+            raise FeedStateError(
+                "partitioned intake (multiple adapters) needs the dynamic "
+                "framework"
+            )
         type_name = state.config.get("type-name")
         datatype = self.types.get(type_name) if type_name else None
         definition = FeedDefinition(
@@ -243,11 +264,40 @@ class AsterixLite:
                 pipeline = DynamicIngestionPipeline(
                     self.cluster, self.catalog, self.registry, afm=self.afm
                 )
-                report = pipeline.run(definition, adapter, update_client=update_client)
+                report = pipeline.run(
+                    definition,
+                    adapter,
+                    update_client=update_client,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                )
         finally:
             state.running = False
         state.last_report = report
         return report
+
+    def resume_run(
+        self,
+        feed: str,
+        adapter: Optional[Union[FeedAdapter, Sequence[FeedAdapter]]] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        **kwargs,
+    ) -> FeedRunReport:
+        """Restart an interrupted feed run from its durable checkpoint.
+
+        Pass *fresh* adapters over the same source(s) (the interrupted
+        process's live adapters are gone): each intake partition is
+        re-opened at its persisted cursor, so everything acked before the
+        interruption is skipped, the un-acked tail is replayed, and
+        pk-upsert dedupes the overlap — the final datasets are
+        byte-identical to an uninterrupted run.  Accepts the same keyword
+        arguments as :meth:`start_feed`.
+        """
+        if checkpoint is None:
+            raise FeedStateError("resume_run needs the run's CheckpointStore")
+        return self.start_feed(
+            feed, adapter, checkpoint=checkpoint, resume=True, **kwargs
+        )
 
     def feed_report(self, feed: str) -> Optional[FeedRunReport]:
         return self._feed(feed).last_report

@@ -100,7 +100,7 @@ class LimitOperator(Operator):
             self.emit(Frame(out))
 
 
-_ENVELOPE_KEYS = frozenset({"raw", "seq"})
+_ENVELOPE_KEYS = frozenset({"raw", "seq", "partition"})
 
 
 class ParseOperator(Operator):

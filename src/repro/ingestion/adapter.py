@@ -7,7 +7,9 @@ arranges it into frames.  We provide:
   synthetic firehose used by the benchmarks);
 * :class:`QueueAdapter` — a socket-feed stand-in: an external producer
   ``send()``s records, the feed drains them;
-* :class:`FileAdapter` — replays newline-delimited JSON from a file.
+* :class:`FileAdapter` — replays newline-delimited JSON from a file, and
+  can :meth:`~FileAdapter.split` itself into contiguous line-range
+  partitions for partitioned intake.
 
 Adapters yield *envelopes* ``{"raw": <json text>, "seq": <n>}``; ``seq``
 is the adapter-local record sequence number (the file line number for a
@@ -15,6 +17,16 @@ is the adapter-local record sequence number (the file line number for a
 dead-letter entries carry it so the offending input can be identified.
 Parsing into typed ADM records is a separate pipeline stage (coupled with
 intake in the old framework, moved into the computing job in the new one).
+
+Resume convention: :meth:`~FeedAdapter.resume_position` returns a cursor
+identifying the last envelope *drawn*; feeding it back to
+:meth:`~FeedAdapter.envelopes` as ``resume_from`` skips everything at or
+before that cursor.  For the count-based adapters the cursor is the
+maximum ``seq`` delivered (``-1`` before any draw); a :class:`FileAdapter`
+cursor is a ``(line, byte_offset)`` pair, so a re-open *seeks* — O(1) —
+instead of re-scanning the file from its head.  An ``int`` ``resume_from``
+(a ``seq`` watermark, e.g. from a durable checkpoint) is accepted by every
+adapter and skips by sequence number.
 
 A :class:`QueueAdapter` drained before ``end()`` yields the
 :data:`ADAPTER_IDLE` sentinel instead of raising: under the discrete-event
@@ -26,9 +38,12 @@ a crash.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import FeedStateError
+
+#: a resume cursor: a seq watermark, or an adapter-specific position pair
+ResumeCursor = Union[int, Tuple[int, int], List[int], None]
 
 
 class _AdapterIdle:
@@ -46,32 +61,37 @@ class FeedAdapter:
     """Base adapter protocol: an iterator of raw-record envelopes."""
 
     def envelopes(
-        self, resume_from: Optional[int] = None
+        self, resume_from: ResumeCursor = None
     ) -> Iterator[Dict[str, object]]:
         """Iterate raw-record envelopes.
 
-        ``resume_from`` re-opens the source after an adapter death: the
-        iterator skips everything at or before that cursor (a value
-        previously returned by :meth:`resume_position`), so a restarted
-        intake actor continues exactly where the dead adapter stopped.
+        ``resume_from`` re-opens the source after an adapter death or a
+        durable run restart: the iterator skips everything at or before
+        that cursor (a value previously returned by
+        :meth:`resume_position`, or a plain ``seq`` watermark), so a
+        restarted intake actor continues exactly where the dead adapter
+        stopped.  Skipped-over duplicates are harmless anyway — storage
+        dedupes replayed records by primary-key upsert.
         """
         raise NotImplementedError
 
-    def resume_position(self) -> int:
-        """Cursor of the last envelope drawn (``0`` before any draw).
+    def resume_position(self) -> ResumeCursor:
+        """Cursor of the last envelope drawn (``-1`` before any draw).
 
         Feed it back to :meth:`envelopes` as ``resume_from`` to continue a
-        stream whose source died mid-fetch.  In-process adapters keep
-        their position in live state, so the default cursor is simply the
-        received-record count.
+        stream whose source died mid-fetch.  For count-based adapters the
+        cursor is the maximum delivered ``seq``; subclasses may return a
+        richer position (the :class:`FileAdapter` returns a
+        ``(line, byte_offset)`` pair for O(1) seeks).
         """
-        return getattr(self, "received", 0)
+        return getattr(self, "received", 0) - 1
 
     def close(self) -> None:
-        """Release external resources (no-op by default).
+        """Release external resources.
 
-        Feed teardown calls this exactly once, even when the pipeline
-        aborts mid-iteration.
+        Idempotent: feed teardown and supervised re-opens may call this
+        any number of times, including interleaved with fresh
+        :meth:`envelopes` iterations.
         """
 
 
@@ -82,15 +102,22 @@ class GeneratorAdapter(FeedAdapter):
         self._source = iter(raw_records)
         self.received = 0
 
+    def resume_position(self) -> int:
+        """Maximum ``seq`` delivered so far (``-1`` before any draw)."""
+        return self.received - 1
+
     def envelopes(
-        self, resume_from: Optional[int] = None
+        self, resume_from: ResumeCursor = None
     ) -> Iterator[Dict[str, object]]:
-        # The underlying iterator holds its own position, so a re-open
-        # simply continues it; ``resume_from`` is accepted for protocol
-        # symmetry but needs no skipping.
+        # A live re-open simply continues the underlying iterator (its
+        # next item already has seq > resume_from); a *fresh* instance
+        # over a replayed source skips everything at or below the cursor.
+        skip = resume_from if resume_from is not None else -1
         for raw in self._source:
             seq = self.received
             self.received += 1
+            if seq <= skip:
+                continue
             yield {"raw": raw, "seq": seq}
 
 
@@ -124,17 +151,26 @@ class QueueAdapter(FeedAdapter):
     def pending(self) -> int:
         return len(self._queue)
 
+    def resume_position(self) -> int:
+        """Maximum ``seq`` delivered so far (``-1`` before any draw)."""
+        return self.received - 1
+
     def envelopes(
-        self, resume_from: Optional[int] = None
+        self, resume_from: ResumeCursor = None
     ) -> Iterator[Dict[str, object]]:
         # The queue only holds undrawn records (drawn ones were popped),
-        # so a re-open resumes naturally; ``seq`` numbering continues from
-        # the cursor.
+        # so a live re-open resumes naturally with monotonically
+        # continuing seq numbers; a fresh instance whose producer replays
+        # the stream from the start skips seqs at or below the cursor.
+        skip = resume_from if resume_from is not None else -1
         while True:
             if self._queue:
                 seq = self.received
                 self.received += 1
-                yield {"raw": self._queue.popleft(), "seq": seq}
+                raw = self._queue.popleft()
+                if seq <= skip:
+                    continue
+                yield {"raw": raw, "seq": seq}
             elif self._ended:
                 return
             else:
@@ -144,41 +180,124 @@ class QueueAdapter(FeedAdapter):
 class FileAdapter(FeedAdapter):
     """Replays newline-delimited JSON records from a file.
 
-    ``seq`` on each envelope is the 1-based file line number.  The file
-    handle is released when iteration completes, when the generator is
-    closed mid-iteration (``GeneratorExit``), or when feed teardown calls
-    :meth:`close` — whichever comes first.
+    ``seq`` on each envelope is the 1-based file line number — globally
+    unique provenance even when the file is :meth:`split` into partition
+    ranges.  The adapter tracks the byte offset alongside the line number,
+    so :meth:`resume_position` returns a ``(line, byte_offset)`` cursor
+    and a re-open *seeks* straight to it (O(1)) instead of re-scanning
+    from the file head.  A plain ``int`` ``resume_from`` (a line-number
+    watermark from a durable checkpoint) is still accepted and skips by
+    scanning the adapter's own range.
+
+    The file handle is released when iteration completes, when the
+    generator is closed mid-iteration (``GeneratorExit``), or when feed
+    teardown calls :meth:`close` — whichever comes first; :meth:`close`
+    is idempotent across supervised re-opens.
     """
 
-    def __init__(self, path: str):
+    def __init__(
+        self,
+        path: str,
+        start_line: int = 1,
+        end_line: Optional[int] = None,
+        start_offset: int = 0,
+    ):
         self.path = path
         self.received = 0
-        self.last_line = 0  # resume cursor: line number last yielded
+        #: partition range: lines ``start_line..end_line`` inclusive
+        #: (``end_line=None`` — to end of file), starting at byte
+        #: ``start_offset``
+        self.start_line = start_line
+        self.end_line = end_line
+        self.start_offset = start_offset
+        self.last_line = start_line - 1  # line number last yielded
+        self.last_offset = start_offset  # byte offset just past that line
         self._handle = None
 
-    def resume_position(self) -> int:
-        """The 1-based line number of the last envelope drawn."""
-        return self.last_line
+    def resume_position(self) -> Tuple[int, int]:
+        """``(line, byte_offset)`` of the last envelope drawn.
+
+        ``line`` is the 1-based line number last yielded;
+        ``byte_offset`` is the offset just past that line, so a re-open
+        seeks there directly.
+        """
+        return (self.last_line, self.last_offset)
 
     def envelopes(
-        self, resume_from: Optional[int] = None
+        self, resume_from: ResumeCursor = None
     ) -> Iterator[Dict[str, object]]:
-        handle = open(self.path, "r", encoding="utf-8")
+        if isinstance(resume_from, (tuple, list)):
+            # O(1) resume: seek to the cursor's byte offset
+            line, offset = resume_from
+            next_line = int(line) + 1
+            start_offset = int(offset)
+            skip_through = 0
+        else:
+            next_line = self.start_line
+            start_offset = self.start_offset
+            skip_through = int(resume_from or 0)
+        # Binary mode: text-mode files forbid tell() during iteration, and
+        # byte offsets are what make the resume cursor seekable.
+        handle = open(self.path, "rb")
         self._handle = handle
-        skip_through = resume_from or 0
+        handle.seek(start_offset)
+        offset = start_offset
+        line_number = next_line - 1
         try:
-            for line_number, line in enumerate(handle, start=1):
+            for raw_line in handle:
+                line_number += 1
+                offset += len(raw_line)
+                if self.end_line is not None and line_number > self.end_line:
+                    break
                 if line_number <= skip_through:
                     continue  # already delivered before the re-open
-                line = line.strip()
+                line = raw_line.decode("utf-8").strip()
                 if line:
                     self.received += 1
                     self.last_line = line_number
+                    self.last_offset = offset
                     yield {"raw": line, "seq": line_number}
         finally:
             handle.close()
             if self._handle is handle:
                 self._handle = None
+
+    def split(self, num_partitions: int) -> List["FileAdapter"]:
+        """Split this adapter into ``num_partitions`` contiguous ranges.
+
+        One counting scan computes balanced line ranges and each range's
+        starting byte offset, so every partition adapter opens directly at
+        its own range (no per-partition re-scan).  ``seq`` numbers remain
+        global file line numbers, so provenance and the per-partition
+        resume watermarks stay unambiguous across partitions.
+        """
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        offsets = [self.start_offset]
+        with open(self.path, "rb") as handle:
+            handle.seek(self.start_offset)
+            for raw_line in handle:
+                offsets.append(offsets[-1] + len(raw_line))
+        total = len(offsets) - 1
+        if self.end_line is not None:
+            total = min(total, self.end_line - self.start_line + 1)
+        parts: List[FileAdapter] = []
+        for p in range(num_partitions):
+            lo = (total * p) // num_partitions  # covers lines lo+1..hi
+            hi = (total * (p + 1)) // num_partitions
+            parts.append(
+                FileAdapter(
+                    self.path,
+                    start_line=self.start_line + lo,
+                    end_line=self.start_line + hi - 1,
+                    start_offset=offsets[lo],
+                )
+            )
+        if parts:
+            parts[-1].end_line = (
+                self.end_line  # unbounded tail unless this range was bounded
+            )
+        return parts
 
     @property
     def is_open(self) -> bool:

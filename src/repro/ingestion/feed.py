@@ -73,6 +73,9 @@ class BatchStats:
     makespan_seconds: float
     startup_seconds: float
     shared_state_seconds: float
+    #: slice number when the batch was split across the worker pool
+    #: (intra-batch parallelism); ``0`` for an unsplit batch
+    sub_index: int = 0
 
 
 @dataclass
@@ -109,6 +112,19 @@ class FeedRunReport:
     state_cache_misses: int = 0
     state_cache_evictions: int = 0
     state_cache_bytes: int = 0
+    #: partitioned intake: number of intake partition actors and each
+    #: partition's aggregate busy seconds (empty for the single actor)
+    intake_partitions: int = 1
+    intake_partition_busy: Dict[int, float] = field(default_factory=dict)
+    #: intra-batch parallelism: sub-batch slices dispatched across the
+    #: worker pool (0 when no batch was split)
+    subbatches_dispatched: int = 0
+    #: durable-restart accounting: batches released in order by the
+    #: sequencer, checkpoint commits written, and whether this run resumed
+    #: from a durable checkpoint
+    acked_batches: int = 0
+    checkpoint_commits: int = 0
+    resumed_from_checkpoint: bool = False
     #: per-layer busy/idle/blocked timelines, holder high-water marks,
     #: stall counts, and batch latencies from the discrete-event runtime
     runtime: Optional["RuntimeMetrics"] = None

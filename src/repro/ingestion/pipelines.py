@@ -32,7 +32,8 @@ the computing process charges per batch.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..adm.schema import primary_key_of
 from ..cluster.controller import Cluster
@@ -56,6 +57,7 @@ from ..runtime import (
 )
 from ..sqlpp.analysis import dataset_references
 from ..sqlpp.evaluator import EvaluationContext
+from ..storage.checkpoint import CheckpointStore, PartitionCursor, RunCheckpoint
 from ..storage.dataset import hash_partition
 from .adapter import ADAPTER_IDLE, FeedAdapter, drain_available
 from .feed import (
@@ -73,6 +75,51 @@ from .policy import (
     ensure_dead_letter_dataset,
 )
 from .udf_operator import UdfEvaluatorOperator, make_invoker
+
+
+class _SubBatch:
+    """One slice of an oversized batch, dispatched to a pool worker.
+
+    Slices share the parent batch's sequencer ``index``; the sequencer
+    reassembles the ``of`` sub-results in ``sub`` order before the in-order
+    release, so storage sees exactly the unsplit batch's output.
+    """
+
+    __slots__ = ("index", "sub", "of", "lists", "records")
+
+    def __init__(self, index: int, sub: int, of: int, lists: List[List[dict]]):
+        self.index = index
+        self.sub = sub
+        self.of = of
+        self.lists = lists
+        self.records = sum(len(p) for p in lists)
+
+    def __repr__(self):
+        return f"<SubBatch {self.index}.{self.sub}/{self.of} ({self.records}r)>"
+
+
+def _split_batch(
+    batch: List[List[dict]], max_records: int
+) -> Optional[List[List[List[dict]]]]:
+    """Slice an oversized batch into sub-batches of ≤ ``max_records``.
+
+    Each per-node list is sliced proportionally, so concatenating the
+    sub-batches in sub order recovers the original per-node lists exactly
+    (record order preserved node-by-node).  Returns ``None`` when no split
+    is warranted (disabled, small batch, or everything lands in one slice).
+    """
+    total = sum(len(p) for p in batch)
+    if max_records <= 0 or total <= max_records:
+        return None
+    k = -(-total // max_records)  # ceil division
+    subs: List[List[List[dict]]] = []
+    for s in range(k):
+        lists = [
+            p[(len(p) * s) // k : (len(p) * (s + 1)) // k] for p in batch
+        ]
+        if any(lists):
+            subs.append(lists)
+    return subs if len(subs) > 1 else None
 
 
 class _StorageLayer:
@@ -162,14 +209,29 @@ class _NullWriter:
 
 
 class _IntakeLayer:
-    """The intake job: adapter(s) + round-robin partitioner + holders."""
+    """The intake job: adapter(s) + round-robin partitioner + holders.
 
-    def __init__(self, cluster: Cluster, feed: FeedDefinition):
+    With ``num_partitions > 1`` the feed runs partitioned intake: each
+    partition is its own intake actor driving its own adapter, pinned
+    round-robin to an intake node, all merging into the shared holder set
+    under one logical cursor (per-partition ``(partition, seq)``
+    watermarks).  The single-partition feed keeps the historical
+    round-robin-per-record node accounting bit-for-bit.
+    """
+
+    def __init__(
+        self, cluster: Cluster, feed: FeedDefinition, num_partitions: int = 1
+    ):
         self.cluster = cluster
         self.feed = feed
+        self.num_partitions = num_partitions
         n = cluster.num_nodes
         self.intake_nodes = list(range(n)) if feed.balanced_intake else [0]
         self.node_busy: Dict[int, float] = {node: 0.0 for node in self.intake_nodes}
+        #: per intake partition: its actor's accumulated busy seconds
+        self.partition_busy: Dict[int, float] = {
+            p: 0.0 for p in range(num_partitions)
+        }
         self.holders = [
             PassivePartitionHolder(
                 f"intake-{feed.name}", p, feed.intake_holder_capacity
@@ -182,28 +244,49 @@ class _IntakeLayer:
         self._intake_rr = 0
         self.records_received = 0
 
-    def _receive(self, chunk: List[dict]):
+    def _receive(self, chunk: List[dict], partition: int = 0):
         """Account one chunk's receive/fan-out work; returns framed output.
 
         Returns ``(target, frame)`` pairs in deposit order: holder ``p``
         lives on node ``p``, so records landing elsewhere charge a
         transfer to the receiving intake node.
+
+        Partitioned intake pins each partition's work to one intake node
+        (partitions map round-robin onto the feed's intake nodes) and
+        stamps each envelope with its partition for cursor tracking; the
+        single-partition path is unchanged.
         """
         cost = self.cluster.cost_model
         n = self.cluster.num_nodes
         buffers: List[List[dict]] = [[] for _ in range(n)]
-        for envelope in chunk:
-            intake_node = self.intake_nodes[self._intake_rr % len(self.intake_nodes)]
-            self._intake_rr += 1
-            self.node_busy[intake_node] += (
-                cost.receive_per_record + cost.intake_fanout_per_record
-            )
-            target = self._rr % n
-            self._rr += 1
-            if target != intake_node:  # holder p lives on node p
-                self.node_busy[intake_node] += cost.transfer_per_record
-            buffers[target].append(envelope)
-            self.records_received += 1
+        if self.num_partitions > 1:
+            pinned = self.intake_nodes[partition % len(self.intake_nodes)]
+            for envelope in chunk:
+                envelope["partition"] = partition
+                per = cost.receive_per_record + cost.intake_fanout_per_record
+                target = self._rr % n
+                self._rr += 1
+                if target != pinned:  # holder p lives on node p
+                    per += cost.transfer_per_record
+                self.node_busy[pinned] += per
+                self.partition_busy[partition] += per
+                buffers[target].append(envelope)
+                self.records_received += 1
+        else:
+            for envelope in chunk:
+                intake_node = self.intake_nodes[
+                    self._intake_rr % len(self.intake_nodes)
+                ]
+                self._intake_rr += 1
+                self.node_busy[intake_node] += (
+                    cost.receive_per_record + cost.intake_fanout_per_record
+                )
+                target = self._rr % n
+                self._rr += 1
+                if target != intake_node:  # holder p lives on node p
+                    self.node_busy[intake_node] += cost.transfer_per_record
+                buffers[target].append(envelope)
+                self.records_received += 1
         frames = []
         for target, buffered in enumerate(buffers):
             for start in range(0, len(buffered), DEFAULT_FRAME_CAPACITY):
@@ -219,6 +302,9 @@ class _IntakeLayer:
         chunk_size: int,
         policy: FeedPolicy,
         faults: FaultMetrics,
+        partition: int = 0,
+        shared: Optional[Dict[str, object]] = None,
+        resume_from=None,
     ):
         """Build the intake actor's restartable body factory.
 
@@ -242,12 +328,29 @@ class _IntakeLayer:
         (:meth:`~repro.ingestion.adapter.FeedAdapter.resume_position`), so
         envelopes already drawn (held in closure state) are never drawn
         twice and nothing after the cursor is skipped.
+
+        ``partition`` names this actor's intake partition; ``shared`` is
+        the per-run dict coordinating the partition actors (open-actor
+        count so the *last* finisher ends the buffer, the run-wide set of
+        consumed adapter faults, and the per-partition durable cursor log
+        the checkpoint commits consume).  ``resume_from`` re-opens a fresh
+        adapter at a durable cursor (``resume_run``) — distinct from the
+        in-process re-open after an adapter death, which resumes from the
+        live ``resume_position()``.
         """
         plan = buffer.runtime.fault_plan
+        if shared is None:
+            shared = {"open": 1, "faults_consumed": set(), "cursor_log": None}
+        cursor_log = shared.get("cursor_log")
         state = {
-            "source": adapter.envelopes(),
+            # only pass resume_from when actually resuming: adapter
+            # subclasses predating durable restart may not accept it
+            "source": (
+                adapter.envelopes(resume_from=resume_from)
+                if resume_from is not None
+                else adapter.envelopes()
+            ),
             "drawn": 0,  # envelopes drawn over the adapter's lifetime
-            "faults_consumed": set(),
             "exhausted": False,
             "advanced": 0.0,
             "chunk": None,  # envelopes drawn but not yet framed
@@ -262,10 +365,12 @@ class _IntakeLayer:
             if plan is None:
                 return None
             for index, fault in plan.adapter_failures_indexed():
-                if index in state["faults_consumed"]:
+                if index in shared["faults_consumed"]:
+                    continue
+                if fault.partition is not None and fault.partition != partition:
                     continue
                 if state["drawn"] >= fault.after_records:
-                    state["faults_consumed"].add(index)
+                    shared["faults_consumed"].add(index)
                     return fault
             return None
 
@@ -317,13 +422,30 @@ class _IntakeLayer:
                         if state["exhausted"]:
                             break
                         continue
-                    frames = self._receive(chunk)
+                    frames = self._receive(chunk, partition)
+                    if cursor_log is not None:
+                        # durable-resume hint: after this chunk is fully
+                        # deposited, a restart may re-open the adapter here
+                        cursor_log[partition].append(
+                            (
+                                max(e["seq"] for e in chunk),
+                                adapter.resume_position(),
+                            )
+                        )
                     state["chunk"] = None
                     # Stash undelivered frames *before* consuming sim time:
                     # a crash from here on replays them.
                     state["pending"] = list(frames)
-                    delta = self.max_busy - state["advanced"]
-                    state["advanced"] = self.max_busy
+                    # A partitioned actor advances by its own partition's
+                    # busy time (actors overlap); the single actor keeps
+                    # the historical max-over-intake-nodes accounting.
+                    busy_now = (
+                        self.partition_busy[partition]
+                        if self.num_partitions > 1
+                        else self.max_busy
+                    )
+                    delta = busy_now - state["advanced"]
+                    state["advanced"] = busy_now
                     if delta > 0:
                         yield Advance(delta)
                 pending = state["pending"]
@@ -338,7 +460,10 @@ class _IntakeLayer:
                 yield Advance(0.0)
             if not state["ended"]:
                 state["ended"] = True
-                buffer.end()
+                shared["open"] -= 1
+                if shared["open"] == 0:
+                    # last partition standing ends the shared buffer
+                    buffer.end()
 
         return body
 
@@ -603,6 +728,42 @@ class ActiveFeedManager:
             self.cluster.controller.undeploy(job_id)
 
 
+def _normalize_adapters(
+    adapter: Union[FeedAdapter, Sequence[FeedAdapter]],
+    policy: FeedPolicy,
+) -> List[FeedAdapter]:
+    """Resolve the run's intake partition adapters.
+
+    A sequence of adapters attaches one adapter per intake partition (the
+    multi-queue form of partitioned intake).  A single adapter with
+    ``policy.intake_partitions > 1`` is range-split when it supports it
+    (a :class:`~repro.ingestion.adapter.FileAdapter`); adapters without a
+    ``split`` must be passed pre-partitioned.
+    """
+    if isinstance(adapter, FeedAdapter):
+        parts = policy.intake_partitions
+        if parts <= 1:
+            return [adapter]
+        split = getattr(adapter, "split", None)
+        if split is None:
+            raise IngestionError(
+                f"intake_partitions={parts} needs a range-splittable "
+                f"adapter (a FileAdapter) or an explicit sequence of one "
+                f"adapter per partition; {type(adapter).__name__} has no "
+                f"split()"
+            )
+        return split(parts)
+    adapters = list(adapter)
+    if not adapters:
+        raise IngestionError("at least one intake adapter is required")
+    if policy.intake_partitions > 1 and len(adapters) != policy.intake_partitions:
+        raise IngestionError(
+            f"policy asks for intake_partitions={policy.intake_partitions} "
+            f"but {len(adapters)} adapters were attached"
+        )
+    return adapters
+
+
 class DynamicIngestionPipeline:
     """The paper's layered ingestion framework."""
 
@@ -621,17 +782,30 @@ class DynamicIngestionPipeline:
     def run(
         self,
         feed: FeedDefinition,
-        adapter: FeedAdapter,
+        adapter: Union[FeedAdapter, Sequence[FeedAdapter]],
         update_client=None,
         predeploy: bool = True,
         decoupled: bool = True,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume: bool = False,
     ) -> FeedRunReport:
         """Drive the feed to completion; returns the run report.
+
+        ``adapter`` is one adapter (range-split into
+        ``policy.intake_partitions`` partitions when > 1) or a sequence of
+        adapters, one per intake partition.
 
         ``update_client`` (a :class:`ReferenceUpdateClient`) is advanced by
         each batch's simulated duration — the §7.3 experiment.
         ``predeploy=False`` and ``decoupled=False`` are the §5.1/§5.2
         ablations; both run on the same discrete-event runtime.
+
+        ``checkpoint`` (a :class:`~repro.storage.CheckpointStore`) makes
+        the run durably restartable: each storage commit persists the
+        per-partition intake cursors and acked-batch high-water.  With
+        ``resume=True`` an existing checkpoint re-opens each partition's
+        adapter at its durable cursor — zero acked loss, the un-acked tail
+        replayed and deduped by pk-upsert.
         """
         if feed.functions and self.registry is None:
             raise IngestionError("a function registry is required for UDF feeds")
@@ -644,6 +818,22 @@ class DynamicIngestionPipeline:
             batch_size = 1
 
         policy = feed.policy or DEFAULT_POLICY
+        adapters = _normalize_adapters(adapter, policy)
+        num_partitions = len(adapters)
+        resume_cursors: Dict[int, object] = {}
+        base_checkpoint = None
+        if checkpoint is not None and resume:
+            base_checkpoint = checkpoint.load(feed.name)
+            if base_checkpoint is not None:
+                if base_checkpoint.intake_partitions != num_partitions:
+                    raise IngestionError(
+                        f"checkpoint for feed {feed.name!r} was written "
+                        f"with {base_checkpoint.intake_partitions} intake "
+                        f"partition(s); this run attached {num_partitions}"
+                    )
+                resume_cursors = {
+                    p: c.resume for p, c in base_checkpoint.cursors.items()
+                }
         faults = FaultMetrics()
         dead_letters = None
         if policy.on_soft_error is SoftErrorAction.DEAD_LETTER:
@@ -652,7 +842,7 @@ class DynamicIngestionPipeline:
             )
         soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
 
-        intake = _IntakeLayer(cluster, feed)
+        intake = _IntakeLayer(cluster, feed, num_partitions)
         storage = _StorageLayer(cluster, dataset, feed.write_mode)
         eval_ctx = EvaluationContext(
             self.catalog,
@@ -727,9 +917,10 @@ class DynamicIngestionPipeline:
         self.afm.register_feed(feed.name, job_id)
         try:
             return self._drive(
-                feed, adapter, intake, storage, eval_ctx, batch_size,
+                feed, adapters, intake, storage, eval_ctx, batch_size,
                 update_client, predeploy, decoupled, spec_builder,
                 collect_slot, policy, faults, soft_errors,
+                checkpoint, resume_cursors, base_checkpoint,
             )
         finally:
             # a failing UDF or adapter must not leak the feed's runtime
@@ -739,12 +930,13 @@ class DynamicIngestionPipeline:
             self.afm.deregister_feed(feed.name)
             intake.close()
             storage.close()
-            adapter.close()
+            for part_adapter in adapters:
+                part_adapter.close()
 
     def _drive(
         self,
         feed: FeedDefinition,
-        adapter: FeedAdapter,
+        adapters: List[FeedAdapter],
         intake: "_IntakeLayer",
         storage: "_StorageLayer",
         eval_ctx,
@@ -757,10 +949,16 @@ class DynamicIngestionPipeline:
         policy: FeedPolicy,
         faults: FaultMetrics,
         soft_errors: SoftErrorHandler,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume_cursors: Optional[Dict[int, object]] = None,
+        base_checkpoint: Optional[RunCheckpoint] = None,
     ) -> FeedRunReport:
         cluster = self.cluster
         n = cluster.num_nodes
         cost = cluster.cost_model
+        num_partitions = intake.num_partitions
+        resume_cursors = resume_cursors or {}
+        track = checkpoint is not None
         report = FeedRunReport(
             feed_name=feed.name,
             framework=Framework.DYNAMIC.value,
@@ -807,7 +1005,17 @@ class DynamicIngestionPipeline:
         #: real writes (and the storage channel items) in index order, so
         #: pk-upsert order / acked guarantees / dead-letter provenance are
         #: byte-identical to the single-actor pipeline
-        sequencer = Sequencer(storage.store_batch, storage_channel)
+        def merge_subbatch(parts: List[List[List[dict]]]) -> List[List[dict]]:
+            # Per-node concatenation in sub order recovers exactly the
+            # unsplit batch's per-node outputs (see _split_batch).
+            return [
+                [record for part in parts for record in part[node]]
+                for node in range(n)
+            ]
+
+        sequencer = Sequencer(
+            storage.store_batch, storage_channel, merge=merge_subbatch
+        )
         pool = {
             "assign": 0,  # next batch index to hand to a worker
             "spawned": 0,  # workers ever created (names stay unique)
@@ -821,7 +1029,92 @@ class DynamicIngestionPipeline:
             "first_busy": None,  # clock at the first batch's invoke
             "last_busy": 0.0,  # clock after the last batch's work
             "ended": False,
+            "subqueue": deque(),  # pending _SubBatch slices for idle peers
+            "subbatches": 0,  # sub-batch dispatches (counts the first slice)
+            "cursor": {},  # per-partition max claimed seq (checkpointing)
+            "marks": {},  # batch index -> cursor snapshot at claim time
+            "resume_cursors": {},  # per-partition durable re-open hint
+            "checkpoint_commits": 0,
         }
+        #: coordination between the intake partition actors: the last one
+        #: to finish ends the shared buffer; adapter faults are consumed
+        #: run-wide; each partition logs (max seq, resume cursor) hints the
+        #: checkpoint commits consume
+        shared = {
+            "open": num_partitions,
+            "faults_consumed": set(),
+            "cursor_log": (
+                {p: [] for p in range(num_partitions)} if track else None
+            ),
+        }
+        if base_checkpoint is not None:
+            # partitions that receive no new records keep their durable
+            # position instead of regressing to "nothing acked"
+            for p, cursor in base_checkpoint.cursors.items():
+                pool["cursor"][p] = cursor.acked_seq
+                pool["resume_cursors"][p] = cursor.resume
+        base_acked_batches = (
+            base_checkpoint.acked_batches if base_checkpoint is not None else 0
+        )
+
+        max_sub = policy.max_subbatch_records
+        split_enabled = max_sub > 0
+
+        def claim_subbatch():
+            if pool["subqueue"]:
+                return pool["subqueue"].popleft()
+            return None
+
+        steal = claim_subbatch if split_enabled else None
+
+        def note_claimed(index: int, batch: List[List[dict]]) -> None:
+            """Advance the logical cursor; snapshot it for ``index``.
+
+            Batch indices are claimed in order under the deterministic
+            scheduler, so the snapshot taken when ``index`` is claimed
+            covers exactly batches ``0..index`` — releasing ``index``
+            makes that snapshot the durable acked watermark.
+            """
+            cursor = pool["cursor"]
+            for records in batch:
+                for envelope in records:
+                    p = envelope.get("partition", 0)
+                    seq = envelope.get("seq", -1)
+                    if seq > cursor.get(p, -1):
+                        cursor[p] = seq
+            pool["marks"][index] = dict(cursor)
+
+        def commit_checkpoint(complete: bool = False) -> None:
+            """Persist cursors covering everything released so far."""
+            watermark = sequencer.next_index - 1
+            mark = pool["marks"].get(watermark)
+            if mark is None:
+                if not complete:
+                    return
+                mark = pool["cursor"]
+            cursors = {}
+            for p in range(num_partitions):
+                acked = mark.get(p, -1)
+                log = shared["cursor_log"][p]
+                # the newest fully-deposited chunk at/below the watermark
+                # becomes the partition's durable re-open point; the gap up
+                # to the watermark replays and dedupes via pk-upsert
+                while log and log[0][0] <= acked:
+                    pool["resume_cursors"][p] = log.pop(0)[1]
+                cursors[p] = PartitionCursor(
+                    acked_seq=acked, resume=pool["resume_cursors"].get(p)
+                )
+            checkpoint.commit(
+                RunCheckpoint(
+                    feed=feed.name,
+                    intake_partitions=num_partitions,
+                    cursors=cursors,
+                    acked_batches=base_acked_batches + sequencer.next_index,
+                    records_stored=storage.records_stored,
+                    complete=complete,
+                )
+            )
+            pool["checkpoint_commits"] += 1
 
         def worker_loop(worker_name: str, inflight: Dict[str, object]):
             """One pool worker's AFM loop: collect, invoke, sequence.
@@ -844,20 +1137,49 @@ class DynamicIngestionPipeline:
                 if inflight["batch"] is not None:
                     index = inflight["index"]
                     batch = inflight["batch"]
+                    sub = inflight["sub"]
+                    of = inflight["of"]
                     faults.records_replayed += sum(len(p) for p in batch)
                 else:
-                    batch = yield from buffer.collect(
-                        batch_size, cancel=claim_shrink
+                    got = yield from buffer.collect(
+                        batch_size, cancel=claim_shrink, steal=steal
                     )
-                    if batch is CANCELLED:
+                    if got is CANCELLED:
                         pool["scale_downs"] += 1
                         break  # retired by the elastic controller
-                    if batch is None:
+                    if got is None:
                         break  # EOF and drained
-                    index = pool["assign"]
-                    pool["assign"] += 1
+                    if isinstance(got, _SubBatch):
+                        # a peer's oversized batch: work one slice of it
+                        index, sub, of = got.index, got.sub, got.of
+                        batch = got.lists
+                    else:
+                        index = pool["assign"]
+                        pool["assign"] += 1
+                        if track:
+                            note_claimed(index, got)
+                        subs = (
+                            _split_batch(got, max_sub)
+                            if split_enabled
+                            else None
+                        )
+                        if subs is None:
+                            batch, sub, of = got, 0, 1
+                        else:
+                            # keep the first slice; queue the rest and wake
+                            # idle peers to steal them
+                            of = len(subs)
+                            pool["subbatches"] += of
+                            for s in range(1, of):
+                                pool["subqueue"].append(
+                                    _SubBatch(index, s, of, subs[s])
+                                )
+                            buffer.kick()
+                            batch, sub = subs[0], 0
                     inflight["index"] = index
                     inflight["batch"] = batch
+                    inflight["sub"] = sub
+                    inflight["of"] = of
                 total = sum(len(p) for p in batch)
                 outputs: List[List[dict]] = [[] for _ in range(n)]
                 collect_slot["outputs"] = outputs
@@ -888,7 +1210,13 @@ class DynamicIngestionPipeline:
                 # Sequenced hand-off: the real writes (and storage-channel
                 # items) for this index — plus any later indices it
                 # unblocks — are released in batch order.
-                released = yield from sequencer.put(index, outputs)
+                released = yield from sequencer.put(
+                    index, outputs, sub_index=sub, num_subs=of
+                )
+                if track and released:
+                    # the released batches' writes are on disk: persist
+                    # the cursors that make them durable across a restart
+                    commit_checkpoint()
                 if not decoupled:
                     # §5.2 ablation: the coupled insert job waits for the
                     # log force and storage writes before finishing (a
@@ -912,6 +1240,7 @@ class DynamicIngestionPipeline:
                         makespan_seconds=makespan,
                         startup_seconds=result.startup_seconds,
                         shared_state_seconds=shared_seconds,
+                        sub_index=sub,
                     )
                 )
                 if update_client is not None:
@@ -944,7 +1273,7 @@ class DynamicIngestionPipeline:
             pool["timeline"].append(
                 (runtime.clock.now - runtime.epoch, pool["running"])
             )
-            inflight = {"index": None, "batch": None}
+            inflight = {"index": None, "batch": None, "sub": 0, "of": 1}
             supervisor.spawn(
                 name, lambda: worker_loop(name, inflight), layer="computing"
             )
@@ -1011,11 +1340,29 @@ class DynamicIngestionPipeline:
                     down_streak = 0
 
         supervisor = Supervisor(runtime, policy.restart_policy())
-        supervisor.spawn(
-            f"{run_name}.intake",
-            intake.make_body(adapter, buffer, batch_size, policy, faults),
-            layer="intake",
-        )
+        if num_partitions == 1:
+            supervisor.spawn(
+                f"{run_name}.intake",
+                intake.make_body(
+                    adapters[0], buffer, batch_size, policy, faults,
+                    partition=0, shared=shared,
+                    resume_from=resume_cursors.get(0),
+                ),
+                layer="intake",
+            )
+        else:
+            # one intake actor per partition, individually supervised:
+            # fault targets can name one ('intake.p1') or the whole layer
+            for p, part_adapter in enumerate(adapters):
+                supervisor.spawn(
+                    f"{run_name}.intake.p{p}",
+                    intake.make_body(
+                        part_adapter, buffer, batch_size, policy, faults,
+                        partition=p, shared=shared,
+                        resume_from=resume_cursors.get(p),
+                    ),
+                    layer="intake",
+                )
         for _ in range(workers_min):
             spawn_worker()
         if decoupled:
@@ -1040,6 +1387,10 @@ class DynamicIngestionPipeline:
             faults.stall_seconds = runtime.injected_stall_seconds
             if storage_channel is not None:
                 faults.channel_send_failures = storage_channel.send_failures
+        if track:
+            # the run drained cleanly: seal the checkpoint so a later
+            # resume knows there is nothing left to replay
+            commit_checkpoint(complete=True)
 
         computing_total = state["computing_total"]
         # With overlapping workers the layer's aggregate busy exceeds any
@@ -1048,10 +1399,27 @@ class DynamicIngestionPipeline:
         computing_bottleneck = (
             max(pool["worker_busy"].values()) if pool["worker_busy"] else 0.0
         )
-        report.batch_stats.sort(key=lambda stats: stats.batch_index)
+        report.batch_stats.sort(
+            key=lambda stats: (stats.batch_index, stats.sub_index)
+        )
+        # With one intake actor the layer's bottleneck is the busiest
+        # intake node; partitioned actors overlap, so it is the slowest
+        # single partition (analogous to the worker pool above).
+        intake_bottleneck = (
+            intake.max_busy
+            if num_partitions == 1
+            else max(intake.partition_busy.values())
+        )
         report.records_ingested = intake.records_received
         report.records_stored = storage.records_stored
-        report.intake_seconds = intake.max_busy
+        report.intake_seconds = intake_bottleneck
+        report.intake_partitions = num_partitions
+        if num_partitions > 1:
+            report.intake_partition_busy = dict(intake.partition_busy)
+        report.subbatches_dispatched = pool["subbatches"]
+        report.acked_batches = sequencer.next_index
+        report.checkpoint_commits = pool["checkpoint_commits"]
+        report.resumed_from_checkpoint = base_checkpoint is not None
         report.computing_seconds = computing_total
         report.computing_worker_busy = dict(pool["worker_busy"])
         report.computing_wall_seconds = (
@@ -1064,9 +1432,9 @@ class DynamicIngestionPipeline:
         report.scale_downs = pool["scale_downs"]
         report.storage_seconds = storage.max_busy
         if decoupled:
-            steady = max(intake.max_busy, computing_bottleneck, storage.max_busy)
+            steady = max(intake_bottleneck, computing_bottleneck, storage.max_busy)
         else:
-            steady = max(intake.max_busy, computing_bottleneck)
+            steady = max(intake_bottleneck, computing_bottleneck)
         start_overhead = cost.job_startup(n, predeployed=False) * 2
         # The emergent makespan exceeds the bottleneck layer's busy time by
         # the pipeline's fill/drain ramp; like job startup, that ramp is a
@@ -1100,6 +1468,10 @@ class DynamicIngestionPipeline:
             scale_ups=pool["scale_ups"],
             scale_downs=pool["scale_downs"],
             reordered_batches=sequencer.reordered,
+            intake_partitions=num_partitions,
+            subbatches=pool["subbatches"],
+            subbatch_merges=sequencer.subbatch_merges,
+            checkpoint_commits=pool["checkpoint_commits"],
             state_cache_hits=report.state_cache_hits,
             state_cache_misses=report.state_cache_misses,
             state_cache_evictions=report.state_cache_evictions,

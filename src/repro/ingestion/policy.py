@@ -103,10 +103,28 @@ class FeedPolicy:
     #: version is unchanged).  ``0`` — the default — disables the cache
     #: entirely, keeping exact per-batch-rebuild cost accounting.
     state_cache_bytes: int = 0
+    #: partitioned-intake knob: run this many adapter partitions, each as
+    #: its own supervised intake actor merging into the shared intake
+    #: buffer under one logical per-partition ``(partition, seq)`` cursor.
+    #: ``1`` (the default) is byte-identical to the single-lane intake.
+    #: With more than one partition the feed needs either a splittable
+    #: adapter (a :class:`~repro.ingestion.adapter.FileAdapter`) or an
+    #: explicit sequence of per-partition adapters.
+    intake_partitions: int = 1
+    #: intra-batch parallelism knob: a collected batch with more records
+    #: than this is split into K contiguous sub-batches dispatched across
+    #: the computing worker pool; the sequencer merges sub-results back in
+    #: record order before release, so stored output stays byte-identical.
+    #: ``0`` (the default) disables sub-batch splitting.
+    max_subbatch_records: int = 0
 
     def __post_init__(self):
         if self.state_cache_bytes < 0:
             raise ValueError("state_cache_bytes must be >= 0")
+        if self.intake_partitions < 1:
+            raise ValueError("intake_partitions must be >= 1")
+        if self.max_subbatch_records < 0:
+            raise ValueError("max_subbatch_records must be >= 0")
         if self.min_computing_workers < 1:
             raise ValueError("min_computing_workers must be >= 1")
         if self.max_computing_workers < self.min_computing_workers:

@@ -246,7 +246,7 @@ class IntakeBuffer:
     def drained(self) -> bool:
         return all(holder.drained for holder in self.holders)
 
-    def collect(self, batch_size: int, cancel=None):
+    def collect(self, batch_size: int, cancel=None, steal=None):
         """Coroutine: assemble one batch of up to ``batch_size`` records.
 
         Returns per-partition record lists, or ``None`` once the buffer is
@@ -256,6 +256,12 @@ class IntakeBuffer:
         relieves the backpressure, so a bounded buffer smaller than a
         batch cannot deadlock the feed.
 
+        ``steal`` (optional callable) is polled first on every pass: when
+        it returns a non-``None`` work item, that item is returned
+        directly instead of a batch — how the worker pool hands pending
+        sub-batches of an oversized batch to idle peers (woken via
+        :meth:`kick`).
+
         ``cancel`` (optional callable) is polled before each wait; when it
         returns true the consumer is retired and :data:`CANCELLED` is
         returned instead of a batch — the elastic controller's scale-down
@@ -263,6 +269,10 @@ class IntakeBuffer:
         batch goes to exactly one of them.
         """
         while True:
+            if steal is not None:
+                stolen = steal()
+                if stolen is not None:
+                    return stolen
             if cancel is not None and cancel():
                 return CANCELLED
             queued = self.queued_records
@@ -316,35 +326,68 @@ class Sequencer:
     returns the list of ``(index, release_result)`` pairs it released, so
     a coupled pipeline can charge the released work to the caller.
 
+    **Sub-batch merge**: an oversized batch split across the worker pool
+    arrives as ``num_subs`` puts sharing one ``index`` with distinct
+    ``sub_index`` values (in any order, from any worker).  The sequencer
+    accumulates the sub-results and, once all have arrived, reassembles
+    them with ``merge`` (sub-index order — i.e. record order) before the
+    usual in-order release, so the stored output is byte-identical to the
+    unsplit batch at any (partitions, splits, workers) configuration.
+
     Re-putting an index that was already released (a supervised worker
-    replaying its un-acked in-flight batch after a crash) releases it
-    again immediately — at-least-once semantics, with duplicate effects
-    resolved downstream exactly as single-actor replay resolves them.
+    replaying its un-acked in-flight batch — or sub-batch — after a
+    crash) releases it again immediately — at-least-once semantics, with
+    duplicate effects resolved downstream exactly as single-actor replay
+    resolves them.
     """
 
-    def __init__(self, release, channel: Optional[Channel] = None):
+    def __init__(self, release, channel: Optional[Channel] = None, merge=None):
         self.release = release
         self.channel = channel
+        self.merge = merge
         self.next_index = 0
         self._stash: Dict[int, object] = {}
+        self._subs: Dict[int, Dict[int, object]] = {}
         self.reordered = 0  # puts that had to wait for an earlier index
         self.released = 0
+        self.subbatch_merges = 0  # indices reassembled from sub-batches
 
     def __len__(self) -> int:
         return len(self._stash)
 
-    def put(self, index: int, payload):
+    def _assemble(self, index: int, payload, sub_index: int, num_subs: int):
+        """Collect one sub-result; returns the merged payload when whole.
+
+        Returns ``None`` while sub-results are still outstanding.  A
+        replayed sub-index overwrites its slot idempotently.
+        """
+        if num_subs <= 1:
+            return payload
+        subs = self._subs.setdefault(index, {})
+        subs[sub_index] = payload
+        if len(subs) < num_subs:
+            return None
+        del self._subs[index]
+        parts = [subs[k] for k in sorted(subs)]
+        self.subbatch_merges += 1
+        return self.merge(parts) if self.merge is not None else parts
+
+    def put(self, index: int, payload, sub_index: int = 0, num_subs: int = 1):
         """Coroutine: hand off batch ``index``; releases all consecutive."""
         out = []
         if index < self.next_index:
-            # crash replay of an already-released batch: release again
+            # crash replay of an already-released batch (or one of its
+            # sub-batches): release the replayed payload again
             result = self.release(payload)
             self.released += 1
             out.append((index, result))
             if self.channel is not None:
                 yield from self.channel.put(result)
             return out
-        self._stash[index] = payload
+        complete = self._assemble(index, payload, sub_index, num_subs)
+        if complete is None:
+            return out  # sub-batches still outstanding
+        self._stash[index] = complete
         if index != self.next_index:
             self.reordered += 1
         while self.next_index in self._stash:

@@ -74,16 +74,22 @@ class ChannelSendFailure:
 
 @dataclass(frozen=True)
 class AdapterFailAt:
-    """The feed's adapter dies after drawing ``after_records`` envelopes.
+    """A feed adapter dies after drawing ``after_records`` envelopes.
 
     Models a source that disconnects mid-``fetch`` (a dropped socket, a
     rotated file): the intake actor closes the adapter and crashes; the
     supervisor restarts it and the adapter is re-opened *from its resume
     cursor* (:meth:`~repro.ingestion.adapter.FeedAdapter.resume_position`),
     so no acked record is lost and no record is drawn twice.
+
+    ``partition`` pins the failure to one intake partition of a
+    partitioned feed (only that partition's adapter dies; its siblings
+    keep streaming).  ``None`` — the default — lets the first adapter to
+    reach the draw count consume the failure.
     """
 
     after_records: int
+    partition: Optional[int] = None
 
     def __post_init__(self):
         if self.after_records < 0:

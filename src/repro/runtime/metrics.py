@@ -132,6 +132,13 @@ class RuntimeMetrics:
     scale_ups: int = 0  # elastic controller grow events
     scale_downs: int = 0  # elastic controller shrink events (workers retired)
     reordered_batches: int = 0  # batches the sequencer held for an earlier one
+    #: partitioned intake / intra-batch parallelism / durable restart:
+    #: intake partition actors, sub-batch slices dispatched, indices the
+    #: sequencer reassembled from sub-results, checkpoint commits written
+    intake_partitions: int = 1
+    subbatches: int = 0
+    subbatch_merges: int = 0
+    checkpoint_commits: int = 0
     #: cross-batch enrichment-state cache activity during this run (zeros
     #: when the feed policy leaves the cache disabled)
     state_cache_hits: int = 0
@@ -154,6 +161,10 @@ class RuntimeMetrics:
         scale_ups: int = 0,
         scale_downs: int = 0,
         reordered_batches: int = 0,
+        intake_partitions: int = 1,
+        subbatches: int = 0,
+        subbatch_merges: int = 0,
+        checkpoint_commits: int = 0,
         state_cache_hits: int = 0,
         state_cache_misses: int = 0,
         state_cache_evictions: int = 0,
@@ -171,6 +182,10 @@ class RuntimeMetrics:
             scale_ups=scale_ups,
             scale_downs=scale_downs,
             reordered_batches=reordered_batches,
+            intake_partitions=intake_partitions,
+            subbatches=subbatches,
+            subbatch_merges=subbatch_merges,
+            checkpoint_commits=checkpoint_commits,
             state_cache_hits=state_cache_hits,
             state_cache_misses=state_cache_misses,
             state_cache_evictions=state_cache_evictions,
@@ -258,6 +273,16 @@ class RuntimeMetrics:
                 f"  computing pool: peak {self.peak_workers} worker(s), "
                 f"{self.scale_ups} scale-up(s), {self.scale_downs} "
                 f"scale-down(s), {self.reordered_batches} reordered batch(es)"
+            )
+        if self.intake_partitions > 1 or self.subbatches:
+            lines.append(
+                f"  scale-out: {self.intake_partitions} intake partition(s), "
+                f"{self.subbatches} sub-batch(es) dispatched, "
+                f"{self.subbatch_merges} merged"
+            )
+        if self.checkpoint_commits:
+            lines.append(
+                f"  durability: {self.checkpoint_commits} checkpoint commit(s)"
             )
         if self.faults is not None and self.faults.any_activity:
             f = self.faults

@@ -30,6 +30,11 @@ class SupervisedStats:
 
     crashes: int = 0
     restarts: int = 0
+    #: restart-budget attempts consumed — tracked here, per actor name,
+    #: so one flapping actor (an intake partition) can never exhaust the
+    #: budget of its healthy peers, and a re-spawn under the same name
+    #: keeps that actor's own budget rather than getting a fresh one
+    attempts: int = 0
     backoff_seconds: float = 0.0
     gave_up: bool = False
 
@@ -98,7 +103,6 @@ class Supervisor:
         policy: RestartPolicy,
         stats: SupervisedStats,
     ) -> Generator:
-        attempts = 0
         restarting = False
         while True:
             try:
@@ -107,7 +111,7 @@ class Supervisor:
                     # the actor is down is absorbed as another attempt
                     # instead of escaping unsupervised.
                     restarting = False
-                    backoff = policy.backoff_at(attempts)
+                    backoff = policy.backoff_at(stats.attempts)
                     stats.restarts += 1
                     stats.backoff_seconds += backoff
                     if backoff > 0:
@@ -116,8 +120,8 @@ class Supervisor:
                 return
             except InjectedCrash as crash:
                 stats.crashes += 1
-                attempts += 1
-                if attempts > policy.max_restarts:
+                stats.attempts += 1
+                if stats.attempts > policy.max_restarts:
                     stats.gave_up = True
                     raise FeedFailedError(
                         f"actor {name!r} crashed {stats.crashes} time(s); "

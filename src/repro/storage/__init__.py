@@ -1,6 +1,7 @@
 """Storage substrate: LSM trees, B+/R-tree indexes, partitioned datasets."""
 
 from .btree import BPlusTree
+from .checkpoint import CheckpointStore, PartitionCursor, RunCheckpoint
 from .component import SortedRunComponent, merge_components
 from .dataset import Dataset, hash_partition
 from .index import IndexKind, SecondaryIndex
@@ -11,7 +12,10 @@ from .rtree import RTree, mbr_of
 
 __all__ = [
     "BPlusTree",
+    "CheckpointStore",
     "Dataset",
+    "PartitionCursor",
+    "RunCheckpoint",
     "IndexKind",
     "LSMStats",
     "LSMTree",

@@ -1,0 +1,147 @@
+"""Durable run checkpoints: restart a *whole feed run*, not just an actor.
+
+The supervised-recovery layer replays an in-flight batch after an actor
+crash, but everything it relies on — closure state, the intake buffer,
+the sequencer — lives in process memory.  The paper's §6 recoverability
+discussion wants more: a feed interrupted by a process kill must restart
+from durable state with zero acked loss.  A :class:`CheckpointStore`
+provides that: on each storage commit the pipeline persists, per intake
+partition, the acked ``seq`` watermark and the adapter resume cursor of
+the last fully-deposited chunk at or below it, plus the acked-batch
+high-water mark.  ``resume_run(...)`` re-opens each partition adapter
+from its persisted cursor; records between the cursor and the watermark
+are replayed (at-least-once) and deduped downstream by primary-key
+upsert, so the restarted run's final datasets are byte-identical to an
+uninterrupted run.
+
+Files are one JSON document per feed, published atomically (write to a
+temp file, then ``os.replace``) exactly like dataset snapshots, so a kill
+mid-commit leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import StorageError
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class PartitionCursor:
+    """One intake partition's durable position.
+
+    ``acked_seq`` is the greatest adapter ``seq`` whose batch has been
+    released by the sequencer and stored (``-1`` — nothing acked).
+    ``resume`` is the adapter resume cursor of the last fully-deposited
+    chunk at or below that watermark — what ``envelopes(resume_from=...)``
+    takes: an ``int`` seq watermark for count-based adapters, a
+    ``(line, byte_offset)`` pair for a file partition, or ``None`` to
+    start from the beginning.  The gap ``(resume, acked_seq]`` is
+    replayed on restart and deduped by pk-upsert.
+    """
+
+    acked_seq: int = -1
+    resume: object = None
+
+
+@dataclass
+class RunCheckpoint:
+    """A feed run's durable restart state."""
+
+    feed: str
+    intake_partitions: int = 1
+    cursors: Dict[int, PartitionCursor] = field(default_factory=dict)
+    acked_batches: int = 0  # batch-index high-water (next expected index)
+    records_stored: int = 0
+    complete: bool = False  # the run finished; kept for inspection
+
+
+def _cursor_to_json(cursor: PartitionCursor) -> Dict[str, object]:
+    resume = cursor.resume
+    if isinstance(resume, tuple):
+        resume = list(resume)
+    return {"acked_seq": cursor.acked_seq, "resume": resume}
+
+
+def _cursor_from_json(payload: Dict[str, object]) -> PartitionCursor:
+    resume = payload.get("resume")
+    if isinstance(resume, list):
+        resume = tuple(resume)
+    return PartitionCursor(acked_seq=int(payload.get("acked_seq", -1)), resume=resume)
+
+
+class CheckpointStore:
+    """Atomic per-feed checkpoint files under one directory."""
+
+    def __init__(self, dir_path: str):
+        self.dir_path = dir_path
+        os.makedirs(dir_path, exist_ok=True)
+        self.commits = 0
+
+    def path_for(self, feed: str) -> str:
+        return os.path.join(self.dir_path, f"{feed}.ckpt.json")
+
+    def commit(self, checkpoint: RunCheckpoint) -> str:
+        """Durably publish ``checkpoint``; returns the file path.
+
+        The write is atomic (temp file + ``os.replace``): a crash during
+        commit leaves the previous checkpoint readable.
+        """
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "feed": checkpoint.feed,
+            "intake_partitions": checkpoint.intake_partitions,
+            "cursors": {
+                str(p): _cursor_to_json(c)
+                for p, c in sorted(checkpoint.cursors.items())
+            },
+            "acked_batches": checkpoint.acked_batches,
+            "records_stored": checkpoint.records_stored,
+            "complete": checkpoint.complete,
+        }
+        path = self.path_for(checkpoint.feed)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp_path, path)  # atomic publish
+        self.commits += 1
+        return path
+
+    def load(self, feed: str) -> Optional[RunCheckpoint]:
+        """Read the feed's checkpoint; ``None`` when none was committed."""
+        path = self.path_for(feed)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StorageError(f"{path}: malformed checkpoint") from exc
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StorageError(
+                f"{path}: unsupported checkpoint format version {version!r}"
+            )
+        return RunCheckpoint(
+            feed=payload["feed"],
+            intake_partitions=int(payload.get("intake_partitions", 1)),
+            cursors={
+                int(p): _cursor_from_json(c)
+                for p, c in payload.get("cursors", {}).items()
+            },
+            acked_batches=int(payload.get("acked_batches", 0)),
+            records_stored=int(payload.get("records_stored", 0)),
+            complete=bool(payload.get("complete", False)),
+        )
+
+    def clear(self, feed: str) -> None:
+        """Remove the feed's checkpoint file (no-op when absent)."""
+        try:
+            os.remove(self.path_for(feed))
+        except FileNotFoundError:
+            pass

@@ -336,3 +336,121 @@ class TestSequencer:
         runtime.spawn("c", consumer())
         runtime.run()
         assert got == ["a", "b", "c"]
+
+
+class TestSequencerSubBatches:
+    """Sub-batch accumulation: merge in sub order, release in index order."""
+
+    def test_subbatches_release_only_when_complete(self):
+        released = []
+        sequencer = Sequencer(released.append, merge="".join)
+        assert drain(sequencer.put(0, "a", sub_index=0, num_subs=3)) == []
+        assert drain(sequencer.put(0, "b", sub_index=1, num_subs=3)) == []
+        assert released == []
+        out = drain(sequencer.put(0, "c", sub_index=2, num_subs=3))
+        assert out == [(0, None)]
+        assert released == ["abc"]
+        assert sequencer.subbatch_merges == 1
+
+    def test_subbatches_merge_in_sub_order_not_arrival_order(self):
+        released = []
+        sequencer = Sequencer(released.append, merge="".join)
+        drain(sequencer.put(0, "c", sub_index=2, num_subs=3))
+        drain(sequencer.put(0, "a", sub_index=0, num_subs=3))
+        drain(sequencer.put(0, "b", sub_index=1, num_subs=3))
+        assert released == ["abc"]
+
+    def test_split_and_unsplit_indices_interleave_in_index_order(self):
+        released = []
+        sequencer = Sequencer(released.append, merge="".join)
+        # index 1 (split) completes before index 0 (unsplit) arrives
+        drain(sequencer.put(1, "y", sub_index=1, num_subs=2))
+        drain(sequencer.put(1, "x", sub_index=0, num_subs=2))
+        assert released == []
+        out = drain(sequencer.put(0, "w"))
+        assert [index for index, _r in out] == [0, 1]
+        assert released == ["w", "xy"]
+        assert sequencer.next_index == 2
+
+    def test_replayed_subindex_overwrites_idempotently(self):
+        # a crashed worker re-puts its un-acked sub-batch: the slot is
+        # overwritten, not double-counted, and the merge stays correct
+        released = []
+        sequencer = Sequencer(released.append, merge="".join)
+        drain(sequencer.put(0, "a", sub_index=0, num_subs=2))
+        drain(sequencer.put(0, "a", sub_index=0, num_subs=2))  # replay
+        assert released == []
+        drain(sequencer.put(0, "b", sub_index=1, num_subs=2))
+        assert released == ["ab"]
+        assert sequencer.subbatch_merges == 1
+
+    def test_default_merge_returns_parts_list(self):
+        released = []
+        sequencer = Sequencer(released.append)  # no merge callable
+        drain(sequencer.put(0, "a", sub_index=0, num_subs=2))
+        drain(sequencer.put(0, "b", sub_index=1, num_subs=2))
+        assert released == [["a", "b"]]
+
+    def test_subbatch_replay_after_release_re_releases(self):
+        # sub arrives for an index the sequencer already released (worker
+        # crashed after its put but before acking): at-least-once re-release
+        released = []
+        sequencer = Sequencer(released.append, merge="".join)
+        drain(sequencer.put(0, "a", sub_index=0, num_subs=2))
+        drain(sequencer.put(0, "b", sub_index=1, num_subs=2))
+        out = drain(sequencer.put(0, "b", sub_index=1, num_subs=2))
+        assert out == [(0, None)]
+        assert released == ["ab", "b"]
+        assert sequencer.next_index == 1
+
+
+class TestIntakeBufferSteal:
+    def test_steal_hook_returns_work_item_before_batch_assembly(self):
+        runtime = Runtime()
+        holders = [PassivePartitionHolder("h", 0, capacity_frames=8)]
+        buffer = IntakeBuffer(runtime, holders)
+        pending = ["stolen-work"]
+        results = []
+
+        def producer():
+            yield from buffer.put(0, Frame([{"seq": 0}]))
+            buffer.end()
+
+        def consumer():
+            got = yield from buffer.collect(
+                batch_size=4, steal=lambda: pending.pop() if pending else None
+            )
+            results.append(got)
+            got = yield from buffer.collect(batch_size=4, steal=lambda: None)
+            results.append(got)
+
+        runtime.spawn("p", producer())
+        runtime.spawn("c", consumer())
+        runtime.run()
+        # the stolen item pre-empts batch assembly; the queued frame is
+        # still collected by the next call
+        assert results[0] == "stolen-work"
+        assert results[1] == [[{"seq": 0}]]
+
+    def test_kick_wakes_waiting_consumer_to_poll_steal(self):
+        runtime = Runtime()
+        holders = [PassivePartitionHolder("h", 0, capacity_frames=8)]
+        buffer = IntakeBuffer(runtime, holders)
+        pending = []
+        results = []
+
+        def consumer():
+            got = yield from buffer.collect(
+                batch_size=4, steal=lambda: pending.pop() if pending else None
+            )
+            results.append(got)
+
+        def peer():
+            yield Advance(0.5)
+            pending.append("late-work")
+            buffer.kick()
+
+        runtime.spawn("c", consumer())
+        runtime.spawn("p", peer())
+        runtime.run()
+        assert results == ["late-work"]

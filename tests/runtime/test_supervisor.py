@@ -172,3 +172,73 @@ class TestReplayDeterminism:
             return state["trace"], elapsed, stats.crashes, stats.restarts
 
         assert run_once() == run_once()
+
+
+class TestPerActorRestartBudgets:
+    """Each actor consumes only its own restart budget (not a shared pool)."""
+
+    def test_two_concurrently_crashing_actors_have_independent_budgets(self):
+        # Both actors crash twice; a shared budget of 2 would be exhausted
+        # by their combined 4 attempts, but per-actor accounting lets both
+        # recover and finish.
+        plan = FaultPlan(
+            crashes=(
+                CrashAt(at=0.15, target="a"),
+                CrashAt(at=0.17, target="b"),
+                CrashAt(at=0.45, target="a"),
+                CrashAt(at=0.47, target="b"),
+            )
+        )
+        runtime = Runtime(fault_plan=plan)
+        supervisor = Supervisor(
+            runtime, RestartPolicy(max_restarts=2, backoff_initial_seconds=0.01)
+        )
+        progress = {"a": 0, "b": 0}
+
+        def make_body(name):
+            def body():
+                while progress[name] < 8:
+                    yield Advance(0.1)
+                    progress[name] += 1
+
+            return body
+
+        supervisor.spawn("a", make_body("a"))
+        supervisor.spawn("b", make_body("b"))
+        runtime.run()
+        assert progress == {"a": 8, "b": 8}
+        for name in ("a", "b"):
+            stats = supervisor.stats[name]
+            assert stats.crashes == 2
+            assert stats.restarts == 2
+            assert not stats.gave_up
+
+    def test_one_actor_exhausting_its_budget_does_not_charge_the_other(self):
+        # "a" crashes three times against a budget of 2 and escalates;
+        # "b" crashes once and must still have budget left when it does.
+        plan = FaultPlan(
+            crashes=(
+                CrashAt(at=0.12, target="a"),
+                CrashAt(at=0.14, target="b"),
+                CrashAt(at=0.32, target="a"),
+                CrashAt(at=0.52, target="a"),
+            )
+        )
+        runtime = Runtime(fault_plan=plan)
+        supervisor = Supervisor(
+            runtime, RestartPolicy(max_restarts=2, backoff_initial_seconds=0.01)
+        )
+
+        def body_factory():
+            while True:
+                yield Advance(0.1)
+
+        supervisor.spawn("a", body_factory)
+        supervisor.spawn("b", body_factory)
+        with pytest.raises(FeedFailedError, match="restart budget"):
+            runtime.run()
+        assert supervisor.stats["a"].gave_up
+        assert supervisor.stats["a"].crashes == 3
+        assert not supervisor.stats["b"].gave_up
+        assert supervisor.stats["b"].crashes == 1
+        assert supervisor.stats["b"].restarts == 1

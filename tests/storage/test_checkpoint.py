@@ -1,0 +1,90 @@
+"""Durable run checkpoints: atomic commit, round-trip, versioning."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.checkpoint import (
+    FORMAT_VERSION,
+    CheckpointStore,
+    PartitionCursor,
+    RunCheckpoint,
+)
+
+
+class TestCheckpointStore:
+    def test_load_returns_none_before_any_commit(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.load("feed") is None
+
+    def test_round_trips_partition_cursors(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        original = RunCheckpoint(
+            feed="tweets",
+            intake_partitions=3,
+            cursors={
+                0: PartitionCursor(acked_seq=41, resume=41),
+                1: PartitionCursor(acked_seq=12, resume=(5, 120)),
+                2: PartitionCursor(acked_seq=-1, resume=None),
+            },
+            acked_batches=7,
+            records_stored=126,
+        )
+        store.commit(original)
+        loaded = store.load("tweets")
+        assert loaded.feed == "tweets"
+        assert loaded.intake_partitions == 3
+        assert loaded.acked_batches == 7
+        assert loaded.records_stored == 126
+        assert not loaded.complete
+        assert loaded.cursors[0] == PartitionCursor(acked_seq=41, resume=41)
+        # file-adapter cursors survive as (line, byte offset) tuples
+        assert loaded.cursors[1] == PartitionCursor(acked_seq=12, resume=(5, 120))
+        assert loaded.cursors[2] == PartitionCursor(acked_seq=-1, resume=None)
+
+    def test_commit_overwrites_atomically(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.commit(RunCheckpoint(feed="f", acked_batches=1))
+        store.commit(RunCheckpoint(feed="f", acked_batches=2, complete=True))
+        assert store.commits == 2
+        # no stray temp file left behind; only the published document
+        assert sorted(os.listdir(tmp_path)) == ["f.ckpt.json"]
+        loaded = store.load("f")
+        assert loaded.acked_batches == 2
+        assert loaded.complete
+        assert path == store.path_for("f")
+
+    def test_stores_are_per_feed(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.commit(RunCheckpoint(feed="a", acked_batches=3))
+        store.commit(RunCheckpoint(feed="b", acked_batches=9))
+        assert store.load("a").acked_batches == 3
+        assert store.load("b").acked_batches == 9
+
+    def test_clear_removes_checkpoint_and_is_idempotent(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.commit(RunCheckpoint(feed="f"))
+        store.clear("f")
+        assert store.load("f") is None
+        store.clear("f")  # no-op on a missing file
+
+    def test_rejects_unknown_format_version(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.commit(RunCheckpoint(feed="f"))
+        path = store.path_for("f")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(StorageError, match="format version"):
+            store.load("f")
+
+    def test_rejects_malformed_json(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.path_for("f"), "w", encoding="utf-8") as handle:
+            handle.write("{truncated")
+        with pytest.raises(StorageError, match="malformed"):
+            store.load("f")
