@@ -1,4 +1,4 @@
-"""Wall-clock records/sec: interpreted vs. planned evaluation.
+"""Wall-clock records/sec: interpreted vs. planned vs. columnar evaluation.
 
 Unlike the fig* benchmarks (deterministic simulated cost), this harness
 measures real elapsed time, so its output goes to ``BENCH_wallclock.json``
@@ -9,9 +9,11 @@ Usage::
     python benchmarks/bench_wallclock.py            # full run
     python benchmarks/bench_wallclock.py --smoke    # quick CI run
 
-Exits non-zero if planned evaluation is slower than interpreted, or — with
-``--baseline BENCH_wallclock.json`` — if planned throughput regressed more
-than ``--baseline-tolerance`` (default 20%) against the recorded baseline.
+Exits non-zero if planned evaluation is slower than interpreted, if
+columnar evaluation is slower than planned, or — with
+``--baseline BENCH_wallclock.json`` — if the planned or columnar speedup
+ratio regressed more than ``--baseline-tolerance`` (default 20%) against
+the recorded baseline.
 """
 
 from __future__ import annotations
@@ -84,11 +86,15 @@ def main(argv=None) -> int:
             f"  {key:24s} interpreted {case['interpreted_records_per_sec']:8.0f} rec/s"
             f"  planned {case['planned_records_per_sec']:8.0f} rec/s"
             f"  ({case['speedup']:.2f}x)"
+            f"  columnar {case['columnar_records_per_sec']:8.0f} rec/s"
+            f"  ({case['columnar_speedup']:.2f}x)"
         )
     print(
         f"  {'aggregate':24s} interpreted {aggregate['interpreted_records_per_sec']:8.0f} rec/s"
         f"  planned {aggregate['planned_records_per_sec']:8.0f} rec/s"
         f"  ({aggregate['speedup']:.2f}x)"
+        f"  columnar {aggregate['columnar_records_per_sec']:8.0f} rec/s"
+        f"  ({aggregate['columnar_speedup']:.2f}x)"
     )
     interpreter = result.get("interpreter", {})
     if interpreter:
@@ -108,6 +114,9 @@ def main(argv=None) -> int:
     if aggregate["speedup"] < 1.0:
         print("FAIL: planned evaluation is slower than interpreted", file=sys.stderr)
         return 1
+    if aggregate["columnar_speedup"] < 1.0:
+        print("FAIL: columnar evaluation is slower than planned", file=sys.stderr)
+        return 1
     if baseline is not None:
         # Gate on the planned/interpreted speedup ratio, not absolute
         # rec/s: the ratio is comparable across machines and between
@@ -124,6 +133,34 @@ def main(argv=None) -> int:
             if current < floor:
                 print(
                     "FAIL: planned throughput regressed more than "
+                    f"{args.baseline_tolerance:.0%} vs {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 1
+        # Columnar gate mirrors the planned gate but only fires when the
+        # baseline was recorded at the same workload size: the columnar
+        # ratio is machine-comparable yet NOT size-comparable (kernel
+        # compile and hash build amortize over the record count, so a
+        # smoke run legitimately shows a smaller ratio than a full run).
+        # Baselines that predate the columnar path lack the key entirely.
+        recorded_columnar = baseline.get("aggregate", {}).get("columnar_speedup")
+        if recorded_columnar and baseline.get("mode") != result["mode"]:
+            print(
+                f"  skipping columnar ratio gate: baseline mode "
+                f"{baseline.get('mode')!r} != current {result['mode']!r}"
+            )
+            recorded_columnar = None
+        if recorded_columnar:
+            floor = recorded_columnar * (1.0 - args.baseline_tolerance)
+            current = aggregate["columnar_speedup"]
+            print(
+                f"  baseline columnar speedup {recorded_columnar:.2f}x "
+                f"(floor {floor:.2f}x at {args.baseline_tolerance:.0%} "
+                f"tolerance) -> current {current:.2f}x"
+            )
+            if current < floor:
+                print(
+                    "FAIL: columnar throughput regressed more than "
                     f"{args.baseline_tolerance:.0%} vs {args.baseline}",
                     file=sys.stderr,
                 )

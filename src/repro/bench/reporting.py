@@ -132,6 +132,12 @@ def layer_utilization_table(metrics, per_process: bool = False) -> str:
             f"{metrics.scale_downs} scale-down(s), "
             f"{metrics.reordered_batches} reordered batch(es)"
         )
+    if metrics.vectorized_batches or metrics.scalar_fallbacks:
+        lines.append(
+            f"columnar: {metrics.vectorized_batches} vectorized batch(es), "
+            f"{metrics.vectorized_records} record(s), "
+            f"{metrics.scalar_fallbacks} scalar fallback(s)"
+        )
     lines.append(
         f"makespan {metrics.makespan_seconds:.4f}s, "
         f"fill/drain {metrics.fill_drain_seconds:.4f}s, "

@@ -176,6 +176,17 @@ class WorkMeter:
         for name in self._COUNTERS:
             setattr(self, name, 0)
 
+    def absorb(self, other: "WorkMeter") -> None:
+        """Add ``other``'s counts into this meter.
+
+        Counters are plain integer sums, so merging a scratch meter that
+        accumulated a whole batch is exactly equivalent to charging the
+        same work record-at-a-time (``charge`` applies scaling at
+        conversion time, not at count time).
+        """
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
     def charge(self, cost: CostModel) -> float:
         """Convert counted work to simulated seconds."""
         import math

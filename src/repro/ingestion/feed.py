@@ -112,6 +112,13 @@ class FeedRunReport:
     state_cache_misses: int = 0
     state_cache_evictions: int = 0
     state_cache_bytes: int = 0
+    #: columnar execution during this run (per-run deltas of the shared
+    #: plan cache's cumulative counters): batches/records enriched through
+    #: batch kernels, and scalar fallbacks (whole frames plus individual
+    #: fallen-back columns)
+    vectorized_batches: int = 0
+    vectorized_records: int = 0
+    scalar_fallbacks: int = 0
     #: partitioned intake: number of intake partition actors and each
     #: partition's aggregate busy seconds (empty for the single actor)
     intake_partitions: int = 1
@@ -154,6 +161,13 @@ class FeedRunReport:
         if self.computing_wall_seconds <= 0:
             return 0.0
         return self.computing_seconds / self.computing_wall_seconds
+
+    @property
+    def vectorized_fraction(self) -> float:
+        """Fraction of ingested records enriched on the columnar path."""
+        if self.records_ingested <= 0:
+            return 0.0
+        return min(1.0, self.vectorized_records / self.records_ingested)
 
     @property
     def faults(self) -> Optional["FaultMetrics"]:

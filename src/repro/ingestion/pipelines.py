@@ -74,7 +74,27 @@ from .policy import (
     SoftErrorHandler,
     ensure_dead_letter_dataset,
 )
-from .udf_operator import UdfEvaluatorOperator, make_invoker
+from .udf_operator import UdfEvaluatorOperator, make_batch_invoker, make_invoker
+
+#: the plan cache's cumulative columnar counters, snapshotted per run so
+#: reports carry per-run deltas (the cache is registry-owned and shared
+#: across feeds, like the state cache)
+_VECTORIZATION_COUNTERS = (
+    "vectorized_batches",
+    "vectorized_records",
+    "scalar_fallbacks",
+)
+
+
+def _plan_cache_snapshot(eval_ctx) -> Dict[str, int]:
+    cache = eval_ctx.plan_cache
+    return {name: getattr(cache, name) for name in _VECTORIZATION_COUNTERS}
+
+
+def _apply_plan_cache_delta(report, eval_ctx, before: Dict[str, int]) -> None:
+    cache = eval_ctx.plan_cache
+    for name in _VECTORIZATION_COUNTERS:
+        setattr(report, name, getattr(cache, name) - before[name])
 
 
 class _SubBatch:
@@ -581,6 +601,11 @@ class StaticIngestionPipeline:
         )
         eval_ctx.cluster_nodes = n
         invoker = make_invoker(feed.functions, self.registry) if feed.functions else None
+        batch_invoker = (
+            make_batch_invoker(feed.functions, self.registry)
+            if feed.functions
+            else None
+        )
         self._prewarm_stream_state(feed, eval_ctx)
 
         # Synchronous drain: an idle-but-open adapter contributes what it
@@ -621,7 +646,11 @@ class StaticIngestionPipeline:
                 OperatorDescriptor(
                     "udf-evaluator",
                     lambda ctx: UdfEvaluatorOperator(
-                        ctx, eval_ctx, invoker, soft_errors=soft_errors
+                        ctx,
+                        eval_ctx,
+                        invoker,
+                        soft_errors=soft_errors,
+                        batch_invoker=batch_invoker,
                     ),
                     partitions=n,
                 )
@@ -641,6 +670,7 @@ class StaticIngestionPipeline:
             HashPartition(lambda r: primary_key_of(r, dataset.primary_key)),
         )
 
+        plan_cache_before = _plan_cache_snapshot(eval_ctx)
         result = cluster.controller.run_job(spec)
         shared_seconds = eval_ctx.shared_meter.charge(cost)
         replicated_seconds = eval_ctx.replicated_meter.charge(cost)
@@ -697,7 +727,14 @@ class StaticIngestionPipeline:
             + shared_seconds / n
             + replicated_seconds,
         )
-        report.runtime = RuntimeMetrics.from_runtime(runtime, faults=faults)
+        _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
+        report.runtime = RuntimeMetrics.from_runtime(
+            runtime,
+            faults=faults,
+            vectorized_batches=report.vectorized_batches,
+            vectorized_records=report.vectorized_records,
+            scalar_fallbacks=report.scalar_fallbacks,
+        )
         return report
 
 
@@ -859,6 +896,11 @@ class DynamicIngestionPipeline:
         invoker = (
             make_invoker(feed.functions, self.registry) if feed.functions else None
         )
+        batch_invoker = (
+            make_batch_invoker(feed.functions, self.registry)
+            if feed.functions
+            else None
+        )
 
         # One CallbackSink output slot, swapped per invocation: concurrent
         # workers each install their own buffer right before invoking (an
@@ -896,7 +938,11 @@ class DynamicIngestionPipeline:
                     OperatorDescriptor(
                         "udf-evaluator",
                         lambda ctx: UdfEvaluatorOperator(
-                            ctx, eval_ctx, invoker, soft_errors=soft_errors
+                            ctx,
+                            eval_ctx,
+                            invoker,
+                            soft_errors=soft_errors,
+                            batch_invoker=batch_invoker,
                         ),
                         partitions=n,
                     )
@@ -976,6 +1022,8 @@ class DynamicIngestionPipeline:
         state_cache_before = (
             state_cache.stats() if state_cache is not None else None
         )
+        # Same convention for the shared plan cache's columnar counters.
+        plan_cache_before = _plan_cache_snapshot(eval_ctx)
 
         run_name = f"feed-{feed.name}"
         runtime = cluster.new_runtime(run_name)
@@ -1456,6 +1504,7 @@ class DynamicIngestionPipeline:
                 after["evictions"] - state_cache_before["evictions"]
             )
             report.state_cache_bytes = after["bytes"]
+        _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
         report.runtime = RuntimeMetrics.from_runtime(
             runtime,
             holders=list(intake.holders) + list(storage.holders),
@@ -1476,5 +1525,8 @@ class DynamicIngestionPipeline:
             state_cache_misses=report.state_cache_misses,
             state_cache_evictions=report.state_cache_evictions,
             state_cache_bytes=report.state_cache_bytes,
+            vectorized_batches=report.vectorized_batches,
+            vectorized_records=report.vectorized_records,
+            scalar_fallbacks=report.scalar_fallbacks,
         )
         return report

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..hyracks.cost import WorkMeter
 from ..hyracks.frame import Frame
 from ..hyracks.job import Operator, OperatorContext
-from ..sqlpp.evaluator import EvaluationContext
+from ..sqlpp import columnar
+from ..sqlpp.ast import SelectBlock
+from ..sqlpp.evaluator import EvaluationContext, Evaluator
 
 
 def make_invoker(functions, registry) -> Callable:
@@ -55,6 +57,73 @@ def make_invoker(functions, registry) -> Callable:
     return invoke
 
 
+def make_batch_invoker(functions, registry) -> Optional[Callable]:
+    """Build ``invoke_batch(records, eval_ctx) -> rows or None``.
+
+    The columnar counterpart of :func:`make_invoker`: each attached SQL++
+    UDF whose body is a top-level FROM-less ``SelectBlock`` is compiled to
+    a :class:`~repro.sqlpp.columnar.BlockKernel` and run one whole batch
+    at a time.  Returns ``None`` at build time when any attached function
+    is Java (instance lifecycle + metering are per record); the returned
+    callable returns ``None`` at run time whenever the batch must take the
+    scalar path (plans disabled, a non-unary or replaced function, an
+    unsupported block shape) — the caller then falls back to the
+    record-at-a-time :func:`make_invoker` loop.
+
+    A SQL++ UDF returning a collection is unnested exactly as in
+    :func:`make_invoker`: a kernel's output rows are the concatenation of
+    the per-record result lists, so chaining feeds the flattened rows to
+    the next function.
+    """
+    if not functions or any(fn.is_java for fn in functions):
+        return None
+    names = tuple(fn.name for fn in functions)
+    # Resolved once per registry version (the §5.2 predeployed analog);
+    # a replace_sqlpp bumps the version so the next batch re-resolves.
+    state = {"version": -1, "udfs": None}
+
+    def invoke_batch(records: List[dict], eval_ctx: EvaluationContext):
+        if not eval_ctx.use_plans:
+            return None
+        if state["version"] != registry.version:
+            udfs = []
+            for name in names:
+                udf = registry.get(name)
+                if udf.arity != 1 or not isinstance(
+                    udf.definition.body, SelectBlock
+                ):
+                    udfs = None
+                    break
+                udfs.append(udf)
+            state["udfs"] = udfs
+            state["version"] = registry.version
+        udfs = state["udfs"]
+        if udfs is None:
+            return None
+        plan_cache = eval_ctx.plan_cache
+        version = registry.version
+        ev = Evaluator(eval_ctx)
+        fallback_columns = 0
+        current = records
+        for udf in udfs:
+            params = tuple(udf.definition.params)
+            plan = plan_cache.plan_for(
+                udf.definition.body, frozenset(params), eval_ctx.catalog
+            )
+            kernel = columnar.kernel_for(plan, params, eval_ctx, version)
+            if kernel is columnar.UNSUPPORTED:
+                plan_cache.scalar_fallbacks += 1
+                return None
+            fallback_columns += kernel.fallback_lets
+            current = kernel.run(ev, current)
+        plan_cache.vectorized_batches += 1
+        plan_cache.vectorized_records += len(records)
+        plan_cache.scalar_fallbacks += fallback_columns
+        return current
+
+    return invoke_batch
+
+
 class UdfEvaluatorOperator(Operator):
     """Applies the attached UDF(s) to each record of each frame.
 
@@ -71,18 +140,65 @@ class UdfEvaluatorOperator(Operator):
         eval_ctx: EvaluationContext,
         invoker: Callable,
         soft_errors=None,
+        batch_invoker: Optional[Callable] = None,
     ):
         super().__init__(ctx)
         self.eval_ctx = eval_ctx
         self.invoker = invoker
         self.soft_errors = soft_errors
+        self.batch_invoker = batch_invoker
         self.records_in = 0
         self.records_out = 0
 
     def next_frame(self, frame: Frame) -> None:
+        meter = WorkMeter(scale=self.eval_ctx.reference_work_scale)
+        out = None
+        if self.batch_invoker is not None and len(frame) > 0:
+            out = self._batch_frame(frame, meter)
+        if out is None:
+            out = self._scalar_frame(frame, meter)
+        cost = self.ctx.cost
+        self.ctx.charge(cost.udf_eval_base * len(frame) + meter.charge(cost))
+        if out:
+            self.emit(Frame(out))
+
+    def _batch_frame(self, frame: Frame, meter: WorkMeter):
+        """One whole-batch columnar attempt; ``None`` means scalar rerun.
+
+        Work is metered on a scratch meter and merged into ``meter`` only
+        on success, so an aborted attempt charges nothing.  Builds the
+        attempt installed in the batch cache survive the abort — they are
+        idempotent within a generation, so the scalar rerun finds them
+        already charged and totals stay byte-identical.
+        """
+        eval_ctx = self.eval_ctx
+        scratch = WorkMeter(scale=eval_ctx.reference_work_scale)
+        previous_meter = eval_ctx.meter
+        eval_ctx.meter = scratch
+        try:
+            out = self.batch_invoker(list(frame), eval_ctx)
+        except Exception:
+            # Unsupported-at-runtime shapes and per-record soft errors
+            # alike: the scalar loop re-runs the frame and applies the
+            # soft-error policy with exact record attribution.
+            eval_ctx.plan_cache.scalar_fallbacks += 1
+            return None
+        finally:
+            eval_ctx.meter = previous_meter
+        if out is None:
+            return None
+        meter.absorb(scratch)
+        self.records_in += len(frame)
+        self.records_out += len(out)
+        if self.soft_errors is not None:
+            # One batch-level success: note_success only resets the
+            # consecutive-failure count, so it equals N per-record calls.
+            self.soft_errors.note_success()
+        return out
+
+    def _scalar_frame(self, frame: Frame, meter: WorkMeter) -> List[dict]:
         import json as _json
 
-        meter = WorkMeter(scale=self.eval_ctx.reference_work_scale)
         previous_meter = self.eval_ctx.meter
         self.eval_ctx.meter = meter
         out: List[dict] = []
@@ -108,7 +224,4 @@ class UdfEvaluatorOperator(Operator):
                 self.records_out += len(enriched)
         finally:
             self.eval_ctx.meter = previous_meter
-        cost = self.ctx.cost
-        self.ctx.charge(cost.udf_eval_base * len(frame) + meter.charge(cost))
-        if out:
-            self.emit(Frame(out))
+        return out

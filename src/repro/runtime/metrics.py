@@ -145,6 +145,12 @@ class RuntimeMetrics:
     state_cache_misses: int = 0
     state_cache_evictions: int = 0
     state_cache_bytes: int = 0  # resident bytes at run end (gauge)
+    #: columnar execution during this run: batches/records enriched through
+    #: vectorized batch kernels and scalar fallbacks (whole frames plus
+    #: individual fallen-back columns)
+    vectorized_batches: int = 0
+    vectorized_records: int = 0
+    scalar_fallbacks: int = 0
 
     # ------------------------------------------------------------- assembly
 
@@ -169,6 +175,9 @@ class RuntimeMetrics:
         state_cache_misses: int = 0,
         state_cache_evictions: int = 0,
         state_cache_bytes: int = 0,
+        vectorized_batches: int = 0,
+        vectorized_records: int = 0,
+        scalar_fallbacks: int = 0,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -190,6 +199,9 @@ class RuntimeMetrics:
             state_cache_misses=state_cache_misses,
             state_cache_evictions=state_cache_evictions,
             state_cache_bytes=state_cache_bytes,
+            vectorized_batches=vectorized_batches,
+            vectorized_records=vectorized_records,
+            scalar_fallbacks=scalar_fallbacks,
         )
         for process in runtime.processes:
             metrics.processes[process.name] = LayerTimes(
@@ -283,6 +295,12 @@ class RuntimeMetrics:
         if self.checkpoint_commits:
             lines.append(
                 f"  durability: {self.checkpoint_commits} checkpoint commit(s)"
+            )
+        if self.vectorized_batches or self.scalar_fallbacks:
+            lines.append(
+                f"  columnar: {self.vectorized_batches} vectorized "
+                f"batch(es), {self.vectorized_records} record(s), "
+                f"{self.scalar_fallbacks} scalar fallback(s)"
             )
         if self.faults is not None and self.faults.any_activity:
             f = self.faults

@@ -721,6 +721,20 @@ class Evaluator:
         across batches until a write bumps the version — the UDF observes
         updates at exactly the same batch boundaries as a rebuild would.
         """
+        table = self._hash_table(dataset, field)
+        self.ctx.meter.hash_probes += 1
+        if probe_value is MISSING or probe_value is None:
+            return []
+        return table.get(probe_value, [])
+
+    def _hash_table(self, dataset, field: str) -> Dict:
+        """The batch-cached build side of :meth:`_hash_probe`.
+
+        Split out so the columnar kernels can acquire the table once per
+        batch and charge all probes in one aggregated increment; the build
+        charges (``hash_builds`` on the shared meter, StateCache reuse)
+        are identical whichever path triggers them first.
+        """
         key = ("hash", dataset.name, field)
         table = self.ctx.batch_cache.get(key)
         if table is None:
@@ -737,10 +751,7 @@ class Evaluator:
             self._install_built_state(
                 key, dataset.version, table, len(snapshot)
             )
-        self.ctx.meter.hash_probes += 1
-        if probe_value is MISSING or probe_value is None:
-            return []
-        return table.get(probe_value, [])
+        return table
 
     def _btree_probe(self, dataset, index_name: str, probe_value) -> List[dict]:
         """Live B-tree index probe — sees mid-batch updates."""

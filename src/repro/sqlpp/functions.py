@@ -22,6 +22,66 @@ from ..errors import SqlppEvaluationError
 
 AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max", "array_agg"})
 
+#: Builtins safe for whole-column (vectorized) evaluation: pure functions
+#: of their arguments that never touch a WorkMeter.  ``edit_distance``
+#: (DP-cell metering) and ``spatial_intersect`` (spatial-test metering)
+#: are deliberately absent — eager column evaluation of a metered builtin
+#: in a conditionally-evaluated position would change simulated costs.
+VECTORIZABLE_BUILTINS = frozenset(
+    {
+        # string
+        "contains",
+        "lower",
+        "upper",
+        "trim",
+        "length",
+        "string_length",
+        "starts_with",
+        "ends_with",
+        "substring",
+        "replace",
+        "split",
+        "string_concat",
+        "to_string",
+        # numeric
+        "abs",
+        "round",
+        "floor",
+        "ceil",
+        "sqrt",
+        "to_number",
+        "to_bigint",
+        # null/missing handling
+        "is_missing",
+        "is_null",
+        "is_unknown",
+        "coalesce",
+        "if_missing",
+        "if_missing_or_null",
+        # arrays
+        "array_count",
+        "array_sum",
+        "array_min",
+        "array_max",
+        "array_avg",
+        "array_contains",
+        "array_distinct",
+        "array_flatten",
+        "len",
+        # spatial constructors / charge-free predicates
+        "create_point",
+        "create_circle",
+        "create_rectangle",
+        "spatial_distance",
+        "get_x",
+        "get_y",
+        # temporal
+        "datetime",
+        "duration",
+        "get_year",
+    }
+)
+
 
 def edit_distance(a: str, b: str, meter=None) -> int:
     """Levenshtein distance with O(min(a,b)) rows; meters DP cells."""

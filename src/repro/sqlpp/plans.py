@@ -692,6 +692,7 @@ class SelectPlan:
         "order_items",  # tuple of (fn, descending)
         "limit_fn",
         "distinct",
+        "batch_kernel",  # (registry_version, BlockKernel|UNSUPPORTED) or None
     )
 
 
@@ -755,6 +756,7 @@ def build_select_plan(
     )
     plan.limit_fn = compile_expr(block.limit) if block.limit is not None else None
     plan.distinct = block.distinct
+    plan.batch_kernel = None  # lazily compiled by columnar.kernel_for
     return plan
 
 
@@ -827,6 +829,13 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Columnar-execution observability (cumulative, like hits/misses):
+        # batches/records that ran through a batch kernel, and scalar
+        # fallbacks (one per fallen-back column per batch, plus one per
+        # whole-frame fallback).
+        self.vectorized_batches = 0
+        self.vectorized_records = 0
+        self.scalar_fallbacks = 0
 
     def token_for(self, block: SelectBlock) -> int:
         """A stable, never-reused identity token for ``block``."""
@@ -882,6 +891,9 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "vectorized_batches": self.vectorized_batches,
+            "vectorized_records": self.vectorized_records,
+            "scalar_fallbacks": self.scalar_fallbacks,
         }
 
     def __len__(self) -> int:
