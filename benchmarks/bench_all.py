@@ -1,7 +1,7 @@
 """Perf observatory: run every BENCH_* suite through one harness.
 
 Runs each standalone benchmark script (wallclock, updates, elastic,
-chaos, scale-out) as a subprocess, collects the key machine-comparable
+chaos, scale-out, external) as a subprocess, collects the key machine-comparable
 numbers from the ``BENCH_*.json`` each one writes, and appends a per-PR
 row to ``BENCH_TRAJECTORY.json`` at the repo root — one row per git
 head, so the file reads as the repo's performance history.
@@ -62,6 +62,16 @@ def _chaos_summary(result: dict) -> dict:
     return {"scenarios": len(result["scenarios"]), "ok": result["ok"]}
 
 
+def _external_summary(result: dict) -> dict:
+    return {
+        "scenarios": len(result["scenarios"]),
+        "hard_down_completeness": result["scenarios"]["hard_down"][
+            "enrichment_completeness"
+        ],
+        "ok": result["ok"],
+    }
+
+
 def _scaleout_summary(result: dict) -> dict:
     return {
         "intake_speedup_at_max_partitions": result[
@@ -81,6 +91,7 @@ SUITES = {
     "elastic": ("bench_elastic.py", "BENCH_elastic.json", _elastic_summary),
     "chaos": ("bench_chaos.py", "BENCH_chaos.json", _chaos_summary),
     "scaleout": ("bench_scaleout.py", "BENCH_scaleout.json", _scaleout_summary),
+    "external": ("bench_external.py", "BENCH_external.json", _external_summary),
 }
 
 

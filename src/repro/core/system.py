@@ -71,6 +71,7 @@ class _FeedState:
         self.functions: List[AttachedFunction] = []
         self.adapter: Optional[FeedAdapter] = None
         self.policy: Optional[FeedPolicy] = None
+        self.external_enrichers: List[object] = []
         self.last_report: Optional[FeedRunReport] = None
         self.running = False
 
@@ -166,6 +167,7 @@ class AsterixLite:
         dataset: str,
         apply_functions: Iterable[Union[str, AttachedFunction]] = (),
         policy: Optional[FeedPolicy] = None,
+        external_enrichers: Iterable[object] = (),
     ) -> None:
         """Connect a feed to its target dataset.
 
@@ -173,6 +175,11 @@ class AsterixLite:
         ``FeedPolicy.spill()``) governs soft errors, congestion, and actor
         restarts for every subsequent run of this feed; the default is the
         fail-fast ``Basic`` policy.
+
+        ``external_enrichers`` (a sequence of
+        :class:`~repro.ingestion.external.EnricherBinding`) routes probe
+        keys through simulated remote lookup services with the full
+        resilience stack — see :mod:`repro.ingestion.external`.
         """
         state = self._feed(feed)
         self._dataset(dataset)  # validate existence
@@ -182,6 +189,7 @@ class AsterixLite:
             for fn in apply_functions
         ]
         state.policy = policy
+        state.external_enrichers = list(external_enrichers)
 
     # ------------------------------------------------------------------ feeds
 
@@ -252,6 +260,7 @@ class AsterixLite:
             balanced_intake=balanced_intake,
             policy=policy or state.policy,
             fault_plan=fault_plan,
+            external_enrichers=list(state.external_enrichers),
         )
         state.running = True
         try:
@@ -316,6 +325,27 @@ class AsterixLite:
         from ..ingestion.replay import replay_dead_letters
 
         return replay_dead_letters(self, feed, batch_size=batch_size, policy=policy)
+
+    def backfill_pending(
+        self,
+        feed: str,
+        bindings=None,
+        policy: Optional[FeedPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        """Catch-up pass: re-probe stored ``_enrichment_pending`` records.
+
+        Runs the feed's external enrichers (or ``bindings``) over every
+        stored record still carrying the pending marker — once the remote
+        has recovered this drives enrichment completeness back to 1.0.
+        See :func:`repro.ingestion.external.backfill_pending`; returns its
+        :class:`~repro.ingestion.external.BackfillReport`.
+        """
+        from ..ingestion.external import backfill_pending
+
+        return backfill_pending(
+            self, feed, bindings=bindings, policy=policy, fault_plan=fault_plan
+        )
 
     def runtime_metrics(self, feed: str):
         """The feed's last-run :class:`~repro.runtime.RuntimeMetrics`.

@@ -153,6 +153,25 @@ class CircuitBreakerError(FeedFailedError):
         self.last_error = last_error
 
 
+class ExternalEnrichmentError(IngestionError):
+    """An external enricher exhausted its retry budget and the feed's
+    policy escalates external failures (``external_on_failure='fail'``).
+
+    Transient by nature — the remote service may recover — so dead-letter
+    replay classifies this family as *retryable*.
+    """
+
+    def __init__(self, feed_name, enricher, key, reason):
+        super().__init__(
+            f"feed {feed_name!r}: external enricher {enricher!r} failed for "
+            f"key {key!r} after exhausting its retry budget ({reason})"
+        )
+        self.feed_name = feed_name
+        self.enricher = enricher
+        self.key = key
+        self.reason = reason
+
+
 class StreamingJoinError(IngestionError):
     """A stateful UDF cannot be evaluated with the streaming model (Model 3).
 

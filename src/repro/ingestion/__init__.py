@@ -9,6 +9,17 @@ from .adapter import (
     chunked,
     drain_available,
 )
+from .external import (
+    PENDING_FIELD,
+    BackfillReport,
+    CircuitBreaker,
+    EnricherBinding,
+    EnrichmentCoordinator,
+    ExternalEnricher,
+    TokenBucket,
+    backfill_pending,
+    enrichment_completeness,
+)
 from .feed import (
     AttachedFunction,
     BatchStats,
@@ -24,6 +35,7 @@ from .pipelines import (
 )
 from .policy import (
     CongestionAction,
+    ExternalFailureAction,
     FeedPolicy,
     SoftErrorAction,
     SoftErrorHandler,
@@ -37,11 +49,17 @@ __all__ = [
     "ADAPTER_IDLE",
     "ActiveFeedManager",
     "AttachedFunction",
+    "BackfillReport",
     "BatchStats",
+    "CircuitBreaker",
     "CompositeUpdateClient",
     "ComputingModel",
     "CongestionAction",
     "DynamicIngestionPipeline",
+    "EnricherBinding",
+    "EnrichmentCoordinator",
+    "ExternalEnricher",
+    "ExternalFailureAction",
     "FeedAdapter",
     "FeedDefinition",
     "FeedPolicy",
@@ -49,15 +67,19 @@ __all__ = [
     "FileAdapter",
     "Framework",
     "GeneratorAdapter",
+    "PENDING_FIELD",
     "QueueAdapter",
     "ReferenceUpdateClient",
     "ReplayReport",
     "SoftErrorAction",
     "SoftErrorHandler",
     "StaticIngestionPipeline",
+    "TokenBucket",
     "UdfEvaluatorOperator",
+    "backfill_pending",
     "chunked",
     "drain_available",
+    "enrichment_completeness",
     "ensure_dead_letter_dataset",
     "make_invoker",
     "replay_dead_letters",

@@ -8,7 +8,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.faults import FaultPlan
-    from ..runtime.metrics import FaultMetrics, RuntimeMetrics
+    from ..runtime.metrics import ExternalMetrics, FaultMetrics, RuntimeMetrics
+    from .external import EnricherBinding
     from .policy import FeedPolicy
 
 
@@ -62,6 +63,9 @@ class FeedDefinition:
     policy: Optional["FeedPolicy"] = None
     #: deterministic injected-fault schedule (None = no faults)
     fault_plan: Optional["FaultPlan"] = None
+    #: external-enrichment bindings routed through the resilient
+    #: EnrichmentCoordinator (empty = the local-only enrichment path)
+    external_enrichers: List["EnricherBinding"] = field(default_factory=list)
 
 
 @dataclass
@@ -132,6 +136,11 @@ class FeedRunReport:
     acked_batches: int = 0
     checkpoint_commits: int = 0
     resumed_from_checkpoint: bool = False
+    #: external-enrichment resilience counters (``None`` when the feed has
+    #: no external enrichers) and the fraction of enrichment-requiring
+    #: stored records fully enriched by run end
+    external: Optional["ExternalMetrics"] = None
+    enrichment_completeness: float = 1.0
     #: per-layer busy/idle/blocked timelines, holder high-water marks,
     #: stall counts, and batch latencies from the discrete-event runtime
     runtime: Optional["RuntimeMetrics"] = None

@@ -67,8 +67,10 @@ from .feed import (
     FeedRunReport,
     Framework,
 )
+from .external import EnrichmentCoordinator
 from .policy import (
     DEFAULT_POLICY,
+    ExternalFailureAction,
     FeedPolicy,
     SoftErrorAction,
     SoftErrorHandler,
@@ -574,6 +576,12 @@ class StaticIngestionPipeline:
     def _run(self, feed: FeedDefinition, adapter: FeedAdapter) -> FeedRunReport:
         if feed.functions and self.registry is None:
             raise IngestionError("a function registry is required for UDF feeds")
+        if feed.external_enrichers:
+            raise IngestionError(
+                "external enrichers need the dynamic framework: the static "
+                "pipeline has no per-batch coordinator to route probe keys "
+                "through"
+            )
         if feed.functions:
             _check_stateful_support(feed, self.registry, self.catalog)
         dataset = self.catalog[feed.target_dataset]
@@ -873,11 +881,26 @@ class DynamicIngestionPipeline:
                 }
         faults = FaultMetrics()
         dead_letters = None
-        if policy.on_soft_error is SoftErrorAction.DEAD_LETTER:
+        if policy.on_soft_error is SoftErrorAction.DEAD_LETTER or (
+            feed.external_enrichers
+            and policy.external_on_failure is ExternalFailureAction.DEAD_LETTER
+        ):
             dead_letters = ensure_dead_letter_dataset(
                 self.catalog, feed.name, policy, num_partitions=n
             )
         soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
+        coordinator = None
+        if feed.external_enrichers:
+            # One coordinator per run: breakers and rate limiters carry
+            # state across batches (and across worker-crash replays).
+            coordinator = EnrichmentCoordinator(
+                feed.external_enrichers,
+                policy,
+                fault_plan=feed.fault_plan,
+                dead_letters=dead_letters,
+                feed_name=feed.name,
+                primary_key=dataset.primary_key,
+            )
 
         intake = _IntakeLayer(cluster, feed, num_partitions)
         storage = _StorageLayer(cluster, dataset, feed.write_mode)
@@ -967,6 +990,7 @@ class DynamicIngestionPipeline:
                 update_client, predeploy, decoupled, spec_builder,
                 collect_slot, policy, faults, soft_errors,
                 checkpoint, resume_cursors, base_checkpoint,
+                coordinator=coordinator,
             )
         finally:
             # a failing UDF or adapter must not leak the feed's runtime
@@ -998,6 +1022,7 @@ class DynamicIngestionPipeline:
         checkpoint: Optional[CheckpointStore] = None,
         resume_cursors: Optional[Dict[int, object]] = None,
         base_checkpoint: Optional[RunCheckpoint] = None,
+        coordinator: Optional[EnrichmentCoordinator] = None,
     ) -> FeedRunReport:
         cluster = self.cluster
         n = cluster.num_nodes
@@ -1251,6 +1276,16 @@ class DynamicIngestionPipeline:
                 makespan = result.startup_seconds + max(busy.values()) + teardown
                 if feed.functions:
                     makespan += cost.udf_job_overhead(n)
+                if coordinator is not None:
+                    # External fan-out happens after the local computing
+                    # job finishes, so its fault windows are evaluated at
+                    # the batch's completion time and its elapsed time
+                    # lands on the batch makespan (mutates ``outputs``:
+                    # enrichments stored, pending markers added,
+                    # dead-lettered records removed before storage).
+                    makespan += coordinator.enrich_batch(
+                        outputs, runtime.clock.now + makespan
+                    )
                 batch_started = runtime.clock.now
                 if pool["first_busy"] is None:
                     pool["first_busy"] = batch_started
@@ -1505,6 +1540,9 @@ class DynamicIngestionPipeline:
             )
             report.state_cache_bytes = after["bytes"]
         _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
+        if coordinator is not None:
+            report.external = coordinator.finalize()
+            report.enrichment_completeness = coordinator.completeness
         report.runtime = RuntimeMetrics.from_runtime(
             runtime,
             holders=list(intake.holders) + list(storage.holders),
@@ -1528,5 +1566,7 @@ class DynamicIngestionPipeline:
             vectorized_batches=report.vectorized_batches,
             vectorized_records=report.vectorized_records,
             scalar_fallbacks=report.scalar_fallbacks,
+            external=report.external,
+            enrichment_completeness=report.enrichment_completeness,
         )
         return report

@@ -49,6 +49,15 @@ class CongestionAction(enum.Enum):
     THROTTLE = "throttle"  # slow admission with growing delays
 
 
+class ExternalFailureAction(enum.Enum):
+    """What to do with a record whose external enrichment exhausted its
+    retry budget (progressive degradation — PIQUE's pay-as-you-go)."""
+
+    PENDING = "pending"  # store with null enrichment + _enrichment_pending
+    DEAD_LETTER = "dead_letter"  # route the record aside with provenance
+    FAIL = "fail"  # escalate: the failure aborts the feed
+
+
 @dataclass(frozen=True)
 class FeedPolicy:
     """Per-feed fault-handling knobs.
@@ -117,6 +126,27 @@ class FeedPolicy:
     #: record order before release, so stored output stays byte-identical.
     #: ``0`` (the default) disables sub-batch splitting.
     max_subbatch_records: int = 0
+    # external-enrichment resilience knobs — consulted only when the feed
+    # has external enrichers attached (see ingestion/external.py).  Every
+    # enricher call gets a deadline; a failed chunk is retried up to
+    # ``external_max_attempts`` total attempts with exponential backoff
+    # plus deterministic jitter; a client-side token bucket paces calls;
+    # a per-enricher circuit breaker fails fast once the remote looks
+    # hard-down and probes it again after a cool-off.
+    external_deadline_seconds: float = 0.05
+    external_max_attempts: int = 3
+    external_backoff_initial_seconds: float = 0.01
+    external_backoff_multiplier: float = 2.0
+    external_backoff_max_seconds: float = 0.5
+    external_backoff_jitter: float = 0.25  # fraction added on top, [0, jitter)
+    external_concurrency: int = 4  # simulated in-flight calls per enricher
+    external_chunk_size: int = 16  # probe keys per batched call
+    external_rate_limit_per_second: float = 0.0  # client bucket; 0 = unlimited
+    external_rate_limit_burst: int = 4
+    external_breaker_failures: int = 5  # consecutive failures to open; 0 = off
+    external_breaker_reset_seconds: float = 0.5  # open -> half-open cool-off
+    external_breaker_half_open_probes: int = 1
+    external_on_failure: ExternalFailureAction = ExternalFailureAction.PENDING
 
     def __post_init__(self):
         if self.state_cache_bytes < 0:
@@ -137,6 +167,22 @@ class FeedPolicy:
             raise ValueError("elastic_sustained_samples must be >= 1")
         if self.elastic_backlog_batches <= 0:
             raise ValueError("elastic_backlog_batches must be positive")
+        if self.external_deadline_seconds <= 0:
+            raise ValueError("external_deadline_seconds must be positive")
+        if self.external_max_attempts < 1:
+            raise ValueError("external_max_attempts must be >= 1")
+        if self.external_concurrency < 1:
+            raise ValueError("external_concurrency must be >= 1")
+        if self.external_chunk_size < 1:
+            raise ValueError("external_chunk_size must be >= 1")
+        if self.external_rate_limit_per_second < 0:
+            raise ValueError("external_rate_limit_per_second must be >= 0")
+        if self.external_rate_limit_burst < 1:
+            raise ValueError("external_rate_limit_burst must be >= 1")
+        if self.external_breaker_failures < 0:
+            raise ValueError("external_breaker_failures must be >= 0")
+        if self.external_breaker_half_open_probes < 1:
+            raise ValueError("external_breaker_half_open_probes must be >= 1")
 
     @property
     def elastic_enabled(self) -> bool:

@@ -5,20 +5,48 @@ queryable dead-letter dataset instead of aborting the feed.  Once an
 operator has repaired the offending ``raw`` text (e.g. via ``upsert`` into
 the dead-letter dataset), :func:`replay_dead_letters` pushes the repaired
 rows back through the *same* feed pipeline — same target dataset, same
-attached functions, same policy — and clears the replayed entries.  Rows
-that fail *again* re-enter the dead-letter dataset through the normal
-soft-error path, so the dataset always holds exactly the still-broken
-residue.
+attached functions, same policy — and clears the replayed entries.
+
+The replay is failure-isolated: one bad row cannot poison the pass.  The
+snapshot first replays as a whole batch (the fast path); if that run
+aborts — a fail-fast policy escalating, a tripped circuit breaker — the
+pass falls back to row-at-a-time replay so every other row still gets its
+chance.  Rows that fail again are re-dead-lettered under their original
+``dl_id`` with provenance: an ``attempts`` counter (how many replay passes
+have retried them) and a ``retryable`` classification — transient
+failure families (external enrichment, circuit breakers) are worth
+another pass once conditions recover; everything else (malformed input,
+bad UDFs) is permanently broken until an operator repairs the raw text.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .adapter import GeneratorAdapter
 from .feed import FeedRunReport
 from .policy import DEFAULT_POLICY, FeedPolicy
+
+#: exception families whose replay failures are transient — the outside
+#: condition (a down remote, an open breaker) may recover, so a later
+#: replay pass should retry them without operator repair
+RETRYABLE_ERROR_NAMES = frozenset(
+    {"ExternalEnrichmentError", "CircuitBreakerError", "FeedFailedError"}
+)
+
+
+def classify_replay_error(error) -> str:
+    """``'retryable'`` for transient failure families, ``'permanent'`` else.
+
+    Accepts an exception instance or a stored dead-letter ``error`` string
+    (``"ExceptionName: message"``).
+    """
+    if isinstance(error, BaseException):
+        name = type(error).__name__
+    else:
+        name = str(error).split(":", 1)[0].strip()
+    return "retryable" if name in RETRYABLE_ERROR_NAMES else "permanent"
 
 
 @dataclass
@@ -30,8 +58,49 @@ class ReplayReport:
     replayed: int  # dead-letter rows pushed back through the feed
     records_stored: int  # rows that made it into the target dataset
     still_dead: int  # rows that failed again (back in the dl dataset)
-    run: Optional[FeedRunReport] = None  # the underlying feed run
+    run: Optional[FeedRunReport] = None  # the whole-batch feed run, if any
     replayed_ids: List[str] = field(default_factory=list)
+    #: still-dead rows by classification: transient failures a later pass
+    #: should retry vs. rows needing operator repair
+    retryable_failures: int = 0
+    permanent_failures: int = 0
+
+
+def _re_dead_letter(dataset, row: dict, attempts: int, error: str) -> None:
+    """Put a failed row back under its *original* dl_id with provenance."""
+    entry = dict(row)
+    entry["attempts"] = attempts
+    entry["error"] = error
+    entry["retryable"] = classify_replay_error(error) == "retryable"
+    dataset.upsert(entry)
+
+
+def _annotate_residue(dataset, prior_attempts: Dict[str, int]) -> tuple:
+    """Stamp attempts/classification on rows that failed again in-run.
+
+    A row re-dead-lettered by the replay run's own soft-error path carries
+    a fresh replay-seq dl_id and no attempt history; match it back to its
+    snapshot entry by raw text and bump the counter.  Idempotent for rows
+    the per-row fallback already annotated.  Returns the
+    ``(retryable, permanent)`` residue counts.
+    """
+    retryable = 0
+    permanent = 0
+    for row in list(dataset.scan()):
+        raw = str(row.get("raw"))
+        if raw not in prior_attempts:
+            continue
+        updated = dict(row)
+        updated["attempts"] = prior_attempts[raw] + 1
+        updated["retryable"] = (
+            classify_replay_error(str(row.get("error", ""))) == "retryable"
+        )
+        dataset.upsert(updated)
+        if updated["retryable"]:
+            retryable += 1
+        else:
+            permanent += 1
+    return retryable, permanent
 
 
 def replay_dead_letters(
@@ -46,8 +115,10 @@ def replay_dead_letters(
     ``dl_id``), through ``system.start_feed`` with the feed's connected
     policy (or ``policy`` for this pass only), so repaired records land in
     the target dataset via the regular parse → enrich → store pipeline.
-    Entries that fail again are re-dead-lettered by the run itself and
-    survive; everything else is deleted.  Returns a :class:`ReplayReport`.
+    Rows that fail again — whether the whole-batch run dead-letters them
+    or aborts and the per-row fallback isolates them — return to the
+    dead-letter dataset with an incremented ``attempts`` counter and a
+    ``retryable`` classification.  Returns a :class:`ReplayReport`.
     """
     state = system._feed(feed_name)  # validates the feed exists
     resolved = policy or state.policy or DEFAULT_POLICY
@@ -66,33 +137,74 @@ def replay_dead_letters(
     )
     if not snapshot:
         return ReplayReport(feed_name, dl_name, 0, 0, 0)
+    prior_attempts = {
+        str(row["raw"]): int(row.get("attempts", 0)) for row in snapshot
+    }
 
     # Clear the snapshot *before* the run: a row that fails again gets a
     # fresh dl_id keyed by its replay-adapter seq, which may collide with a
     # snapshot id — deleting afterwards could silently drop the new entry.
     for row in snapshot:
         dataset.delete(row["dl_id"])
+    stored_total = 0
+    run_report = None
     try:
         adapter = GeneratorAdapter(str(row["raw"]) for row in snapshot)
-        report = system.start_feed(
+        run_report = system.start_feed(
             feed_name,
             adapter=adapter,
             batch_size=batch_size,
             policy=policy,
         )
+        stored_total = run_report.records_stored
     except Exception:
-        # The replay run aborted (e.g. a Basic policy escalating): put the
-        # snapshot back so no dead letter is lost.
+        # The whole-batch run aborted (a fail-fast policy escalating, a
+        # tripped breaker).  Fall back to row-at-a-time replay: one bad
+        # row no longer poisons the pass, and each failure is classified
+        # and re-dead-lettered individually.  Rows the aborted run already
+        # stored are re-stored and deduped by pk-upsert.
         for row in snapshot:
-            dataset.upsert(row)
-        raise
+            before_ids = {r["dl_id"] for r in dataset.scan()}
+            try:
+                row_report = system.start_feed(
+                    feed_name,
+                    adapter=GeneratorAdapter([str(row["raw"])]),
+                    batch_size=1,
+                    policy=policy,
+                )
+                stored_total += row_report.records_stored
+            except Exception as exc:
+                _re_dead_letter(
+                    dataset,
+                    row,
+                    prior_attempts[str(row["raw"])] + 1,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            # The row's run dead-lettered it in-run under a per-row replay
+            # seq (always 0): fold the fresh entry back into the original
+            # dl_id so consecutive per-row failures cannot collide.
+            fresh = [r for r in dataset.scan() if r["dl_id"] not in before_ids]
+            for entry in fresh:
+                dataset.delete(entry["dl_id"])
+                _re_dead_letter(
+                    dataset,
+                    row,
+                    prior_attempts[str(row["raw"])] + 1,
+                    str(entry.get("error", "")),
+                )
 
+    retryable_failures, permanent_failures = _annotate_residue(
+        dataset, prior_attempts
+    )
     return ReplayReport(
         feed_name=feed_name,
         dead_letter_dataset=dl_name,
         replayed=len(snapshot),
-        records_stored=report.records_stored,
+        records_stored=stored_total,
         still_dead=sum(1 for _ in dataset.scan()),
-        run=report,
+        run=run_report,
         replayed_ids=[str(row["dl_id"]) for row in snapshot],
+        retryable_failures=retryable_failures,
+        permanent_failures=permanent_failures,
     )

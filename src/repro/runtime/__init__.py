@@ -39,6 +39,9 @@ from .faults import (
     AdapterFailAt,
     ChannelSendFailure,
     CrashAt,
+    EnricherFlaky,
+    EnricherOutage,
+    EnricherSlowdown,
     FaultPlan,
     HolderDisconnect,
     StallAt,
@@ -53,7 +56,13 @@ from .kernel import (
     Signal,
     Wait,
 )
-from .metrics import FaultMetrics, HolderStats, LayerTimes, RuntimeMetrics
+from .metrics import (
+    ExternalMetrics,
+    FaultMetrics,
+    HolderStats,
+    LayerTimes,
+    RuntimeMetrics,
+)
 from .supervisor import RestartPolicy, SupervisedStats, Supervisor
 
 __all__ = [
@@ -69,6 +78,10 @@ __all__ = [
     "ChannelSendFailure",
     "Clock",
     "CrashAt",
+    "EnricherFlaky",
+    "EnricherOutage",
+    "EnricherSlowdown",
+    "ExternalMetrics",
     "FaultMetrics",
     "FaultPlan",
     "HolderDisconnect",

@@ -97,6 +97,73 @@ class AdapterFailAt:
 
 
 @dataclass(frozen=True)
+class EnricherOutage:
+    """External enricher ``enricher`` is down during ``[at, at + duration)``.
+
+    ``mode`` scripts *how* the remote service fails: ``'error'`` answers
+    immediately with a server error, ``'timeout'`` never answers (the
+    client burns its full per-call deadline), ``'rate_limit'`` rejects
+    with a retry-after hint of ``retry_after_seconds``.
+    """
+
+    enricher: str  # enricher name (exact match)
+    at: float
+    duration: float
+    mode: str = "error"  # 'error' | 'timeout' | 'rate_limit'
+    retry_after_seconds: float = 0.05
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration < 0:
+            raise ValueError("outage time/duration cannot be negative")
+        if self.mode not in ("error", "timeout", "rate_limit"):
+            raise ValueError(f"unknown outage mode: {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class EnricherSlowdown:
+    """External enricher latency is multiplied by ``factor`` during
+    ``[at, at + duration)`` — a degraded-but-alive remote service.
+
+    Overlapping slowdowns on the same enricher compound (factors
+    multiply).  A factor large enough to push call latency past the
+    client's deadline turns the window into scripted timeouts.
+    """
+
+    enricher: str
+    at: float
+    duration: float
+    factor: float = 10.0
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration < 0:
+            raise ValueError("slowdown time/duration cannot be negative")
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+
+
+@dataclass(frozen=True)
+class EnricherFlaky:
+    """External enricher fails a deterministic ``rate`` fraction of calls
+    with ``mode`` during ``[at, at + duration)``.
+
+    Which calls fail is decided by a seeded hash of the enricher's call
+    counter — not a live RNG — so repeated runs fail the *same* calls.
+    """
+
+    enricher: str
+    rate: float  # fraction of calls that fail, [0, 1]
+    mode: str = "error"  # 'error' | 'timeout' | 'rate_limit'
+    at: float = 0.0
+    duration: float = float("inf")
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("flaky rate must be in [0, 1]")
+        if self.mode not in ("error", "timeout", "rate_limit"):
+            raise ValueError(f"unknown flaky mode: {self.mode!r}")
+
+
+@dataclass(frozen=True)
 class HolderDisconnect:
     """Partition holder ``holder_id``[``partition``] is unreachable during
     ``[at, at + duration)``; producers wait out the disconnect (blocked)."""
@@ -117,6 +184,7 @@ class FaultPlan:
         channel_failures: Sequence[ChannelSendFailure] = (),
         disconnects: Sequence[HolderDisconnect] = (),
         adapter_failures: Sequence[AdapterFailAt] = (),
+        enricher_faults: Sequence[object] = (),
         seed: int = 0,
     ):
         self.crashes: Tuple[CrashAt, ...] = tuple(crashes)
@@ -126,6 +194,8 @@ class FaultPlan:
         )
         self.disconnects: Tuple[HolderDisconnect, ...] = tuple(disconnects)
         self.adapter_failures: Tuple[AdapterFailAt, ...] = tuple(adapter_failures)
+        #: mixed EnricherOutage / EnricherSlowdown / EnricherFlaky entries
+        self.enricher_faults: Tuple[object, ...] = tuple(enricher_faults)
         self.seed = seed
 
     @property
@@ -136,6 +206,7 @@ class FaultPlan:
             or self.channel_failures
             or self.disconnects
             or self.adapter_failures
+            or self.enricher_faults
         )
 
     # -------------------------------------------------------------- queries
@@ -177,6 +248,44 @@ class FaultPlan:
                     until = end if until is None else max(until, end)
         return until
 
+    def enricher_outage(self, enricher: str, now: float) -> Optional[EnricherOutage]:
+        """The outage covering ``now`` for ``enricher``, or ``None``.
+
+        When several outages overlap, the earliest-listed one wins (stable
+        precedence keeps repeated runs byte-identical).
+        """
+        for fault in self.enricher_faults:
+            if (
+                isinstance(fault, EnricherOutage)
+                and fault.enricher == enricher
+                and fault.at <= now < fault.at + fault.duration
+            ):
+                return fault
+        return None
+
+    def enricher_latency_factor(self, enricher: str, now: float) -> float:
+        """Product of all slowdown factors covering ``now`` (1.0 = healthy)."""
+        factor = 1.0
+        for fault in self.enricher_faults:
+            if (
+                isinstance(fault, EnricherSlowdown)
+                and fault.enricher == enricher
+                and fault.at <= now < fault.at + fault.duration
+            ):
+                factor *= fault.factor
+        return factor
+
+    def enricher_flaky(self, enricher: str, now: float) -> Optional[EnricherFlaky]:
+        """The flakiness entry covering ``now`` for ``enricher``, or ``None``."""
+        for fault in self.enricher_faults:
+            if (
+                isinstance(fault, EnricherFlaky)
+                and fault.enricher == enricher
+                and fault.at <= now < fault.at + fault.duration
+            ):
+                return fault
+        return None
+
     # ------------------------------------------------------------ generation
 
     @classmethod
@@ -214,5 +323,6 @@ class FaultPlan:
             f"<FaultPlan crashes={len(self.crashes)} stalls={len(self.stalls)} "
             f"channel_failures={len(self.channel_failures)} "
             f"disconnects={len(self.disconnects)} "
-            f"adapter_failures={len(self.adapter_failures)} seed={self.seed}>"
+            f"adapter_failures={len(self.adapter_failures)} "
+            f"enricher_faults={len(self.enricher_faults)} seed={self.seed}>"
         )

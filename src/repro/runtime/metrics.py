@@ -92,6 +92,59 @@ class FaultMetrics:
 
 
 @dataclass
+class ExternalMetrics:
+    """Per-feed external-enrichment resilience counters for one run.
+
+    Kept separate from :class:`FaultMetrics` so feeds without external
+    enrichers keep byte-identical fault dicts (default-off parity).
+    Deterministic for a deterministic (workload, policy, fault plan)
+    triple, like everything else on this runtime.
+    """
+
+    calls: int = 0  # enricher calls issued (chunks, incl. retries)
+    keys_requested: int = 0  # probe keys sent across all calls
+    retries: int = 0  # calls re-issued after a failure
+    errors: int = 0  # server-error call outcomes
+    timeouts: int = 0  # calls that burned their full deadline
+    rate_limited: int = 0  # server-side rate-limit rejections
+    fail_fast: int = 0  # chunks rejected locally by an open breaker
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0  # recoveries (half-open probe succeeded)
+    call_seconds: float = 0.0  # simulated time inside enricher calls
+    backoff_seconds: float = 0.0  # simulated retry backoff
+    rate_limit_wait_seconds: float = 0.0  # client token-bucket waits
+    records_enriched: int = 0  # records with every enrichment resolved
+    records_pending: int = 0  # stored with the _enrichment_pending marker
+    records_dead_lettered: int = 0  # routed aside by ExternalFailureAction
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stable plain-dict form (what the external benchmark serializes)."""
+        return {
+            "calls": self.calls,
+            "keys_requested": self.keys_requested,
+            "retries": self.retries,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "rate_limited": self.rate_limited,
+            "fail_fast": self.fail_fast,
+            "breaker_opens": self.breaker_opens,
+            "breaker_half_opens": self.breaker_half_opens,
+            "breaker_closes": self.breaker_closes,
+            "call_seconds": self.call_seconds,
+            "backoff_seconds": self.backoff_seconds,
+            "rate_limit_wait_seconds": self.rate_limit_wait_seconds,
+            "records_enriched": self.records_enriched,
+            "records_pending": self.records_pending,
+            "records_dead_lettered": self.records_dead_lettered,
+        }
+
+    @property
+    def any_activity(self) -> bool:
+        return any(v for v in self.as_dict().values())
+
+
+@dataclass
 class HolderStats:
     """One partition holder's counters at the end of a run."""
 
@@ -151,6 +204,12 @@ class RuntimeMetrics:
     vectorized_batches: int = 0
     vectorized_records: int = 0
     scalar_fallbacks: int = 0
+    #: external-enrichment resilience counters (``None`` when the feed has
+    #: no external enrichers attached — default-off parity)
+    external: Optional[ExternalMetrics] = None
+    #: fraction of enrichment-requiring stored records fully enriched by
+    #: run end (1.0 when nothing degraded, or nothing was required)
+    enrichment_completeness: float = 1.0
 
     # ------------------------------------------------------------- assembly
 
@@ -178,6 +237,8 @@ class RuntimeMetrics:
         vectorized_batches: int = 0,
         vectorized_records: int = 0,
         scalar_fallbacks: int = 0,
+        external: Optional[ExternalMetrics] = None,
+        enrichment_completeness: float = 1.0,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -202,6 +263,8 @@ class RuntimeMetrics:
             vectorized_batches=vectorized_batches,
             vectorized_records=vectorized_records,
             scalar_fallbacks=scalar_fallbacks,
+            external=external,
+            enrichment_completeness=enrichment_completeness,
         )
         for process in runtime.processes:
             metrics.processes[process.name] = LayerTimes(
@@ -301,6 +364,16 @@ class RuntimeMetrics:
                 f"  columnar: {self.vectorized_batches} vectorized "
                 f"batch(es), {self.vectorized_records} record(s), "
                 f"{self.scalar_fallbacks} scalar fallback(s)"
+            )
+        if self.external is not None and self.external.any_activity:
+            e = self.external
+            lines.append(
+                f"  external: {e.calls} call(s), {e.retries} retrie(s), "
+                f"{e.timeouts} timeout(s), {e.errors} error(s), "
+                f"{e.breaker_opens} breaker open(s), completeness "
+                f"{self.enrichment_completeness:.2f} "
+                f"({e.records_pending} pending, "
+                f"{e.records_dead_lettered} dead-lettered)"
             )
         if self.faults is not None and self.faults.any_activity:
             f = self.faults

@@ -142,6 +142,89 @@ class TestSoftErrorHandler:
         assert "AdmParseError" in entry["error"]
 
 
+class TestBreakerEdges:
+    """Edge behavior of the max-consecutive-failures feed breaker."""
+
+    def _handler(self, limit, dataset=None):
+        faults = FaultMetrics()
+        policy = FeedPolicy.spill(max_consecutive_soft_errors=limit)
+        return SoftErrorHandler("F", policy, faults, dataset), faults
+
+    def test_exactly_n_failures_do_not_trip(self):
+        # the limit is a tolerance: N consecutive soft errors are absorbed,
+        # only failure N+1 escalates
+        handler, faults = self._handler(limit=3)
+        for seq in range(3):
+            handler.handle("parse", f"r{seq}", AdmParseError("bad"), seq=seq)
+        assert handler.consecutive == 3
+        assert faults.circuit_breaker_trips == 0
+        with pytest.raises(CircuitBreakerError) as info:
+            handler.handle("parse", "r3", AdmParseError("bad"), seq=3)
+        assert info.value.consecutive == 4
+        assert info.value.limit == 3
+        assert faults.circuit_breaker_trips == 1
+
+    def test_success_at_boundary_resets_counter(self):
+        # a success when the streak sits exactly at the limit resets it:
+        # the next failure starts a fresh streak of one
+        handler, faults = self._handler(limit=2)
+        handler.handle("parse", "a", AdmParseError("bad"))
+        handler.handle("parse", "b", AdmParseError("bad"))
+        handler.note_success()
+        assert handler.consecutive == 0
+        handler.handle("parse", "c", AdmParseError("bad"))
+        handler.handle("parse", "d", AdmParseError("bad"))
+        assert faults.circuit_breaker_trips == 0
+
+    def test_zero_limit_disables_breaker(self):
+        handler, faults = self._handler(limit=0)
+        for seq in range(50):
+            handler.handle("parse", f"r{seq}", AdmParseError("bad"), seq=seq)
+        assert faults.circuit_breaker_trips == 0
+
+    def test_pre_trip_failures_are_dead_lettered_but_not_the_trip(self):
+        # failures below the limit route to the dead-letter dataset; the
+        # tripping failure escalates *instead of* being dead-lettered, so
+        # the dataset holds exactly the absorbed residue
+        dataset = Dataset(
+            "DL", open_type("DLT", dl_id="string"), "dl_id", validate=False
+        )
+        handler, faults = self._handler(limit=2, dataset=dataset)
+        handler.handle("parse", "a", AdmParseError("bad"), seq=0)
+        handler.handle("parse", "b", AdmParseError("bad"), seq=1)
+        with pytest.raises(CircuitBreakerError):
+            handler.handle("parse", "c", AdmParseError("bad"), seq=2)
+        assert faults.records_dead_lettered == 2
+        assert sorted(r["dl_id"] for r in dataset.scan()) == [
+            "parse#0",
+            "parse#1",
+        ]
+
+    def test_feed_level_trip_escalates_and_keeps_dead_letters(self):
+        system = AsterixLite(num_nodes=2)
+        system.execute(
+            """
+            CREATE TYPE TweetType AS OPEN { id: int64 };
+            CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+            """
+        )
+        system.create_feed("TweetFeed", {"type-name": "TweetType"})
+        system.connect_feed(
+            "TweetFeed",
+            "Tweets",
+            policy=FeedPolicy.spill(max_consecutive_soft_errors=2),
+        )
+        # three consecutive malformed rows: two dead-letter, the third trips
+        raws = [json.dumps({"id": i}) for i in range(4)]
+        raws[1:1] = ['{"id": x', '{"id": y', '{"id": z']
+        with pytest.raises(CircuitBreakerError):
+            system.start_feed(
+                "TweetFeed", GeneratorAdapter(raws), batch_size=4
+            )
+        dead = list(system.catalog["TweetFeed_DeadLetters"].scan())
+        assert len(dead) == 2
+
+
 class TestPipelinePolicies:
     def test_default_policy_fails_fast_like_the_seed(self):
         catalog, _registry = make_env()

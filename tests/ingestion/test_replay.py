@@ -2,11 +2,10 @@
 
 import json
 
-import pytest
-
 from repro.core import AsterixLite
-from repro.errors import AdmParseError
+from repro.errors import AdmParseError, CircuitBreakerError
 from repro.ingestion import FeedPolicy, GeneratorAdapter, replay_dead_letters
+from repro.ingestion.replay import classify_replay_error
 
 
 def make_system(policy=None):
@@ -83,18 +82,66 @@ class TestReplayDeadLetters:
         assert result.replayed == 0
         assert result.run is None
 
-    def test_escalating_policy_restores_snapshot_on_abort(self):
+    def test_escalating_policy_falls_back_to_per_row_replay(self):
         system = self._ingest_with_failures()
         dead_letters = system.catalog["TweetFeed_DeadLetters"]
         before = sorted(row["dl_id"] for row in dead_letters.scan())
-        # a fail-fast policy aborts the replay run on the first still-bad
-        # row: every snapshot entry must survive
-        with pytest.raises(AdmParseError):
-            system.replay_dead_letters(
-                "TweetFeed", policy=FeedPolicy.basic()
-            )
+        # a fail-fast policy aborts the whole-batch replay on the first
+        # still-bad row; the pass falls back to row-at-a-time replay and
+        # re-dead-letters each failure instead of raising
+        result = system.replay_dead_letters(
+            "TweetFeed", policy=FeedPolicy.basic()
+        )
+        assert result.replayed == 2
+        assert result.records_stored == 0
+        assert result.still_dead == 2
         after = sorted(row["dl_id"] for row in dead_letters.scan())
-        assert after == before
+        assert after == before  # original dl_ids survive the round-trip
+
+    def test_partial_repair_survives_escalating_policy(self):
+        # One repaired row, one still-broken row, fail-fast policy: the
+        # old behavior aborted the whole pass; now the good row lands and
+        # only the bad one returns to the dead-letter dataset.
+        system = self._ingest_with_failures()
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        for row in list(dead_letters.scan()):
+            if row["seq"] == 4:
+                repaired = dict(row)
+                repaired["raw"] = json.dumps({"id": 4})
+                dead_letters.upsert(repaired)
+        result = system.replay_dead_letters(
+            "TweetFeed", policy=FeedPolicy.basic()
+        )
+        assert result.records_stored == 1
+        assert result.still_dead == 1
+        assert 4 in system.query("SELECT VALUE t.id FROM Tweets t")
+
+    def test_replay_failures_carry_attempts_and_classification(self):
+        system = self._ingest_with_failures(bad_ids={4})
+        dead_letters = system.catalog["TweetFeed_DeadLetters"]
+        first = system.replay_dead_letters("TweetFeed", batch_size=5)
+        assert first.permanent_failures == 1
+        assert first.retryable_failures == 0
+        (residue,) = list(dead_letters.scan())
+        assert residue["attempts"] == 1
+        assert residue["retryable"] is False
+        # a second pass without repair bumps the counter again
+        second = system.replay_dead_letters("TweetFeed", batch_size=5)
+        assert second.permanent_failures == 1
+        (residue,) = list(dead_letters.scan())
+        assert residue["attempts"] == 2
+
+    def test_classify_replay_error(self):
+        assert classify_replay_error(AdmParseError("bad")) == "permanent"
+        assert (
+            classify_replay_error(CircuitBreakerError("F", 3, 2))
+            == "retryable"
+        )
+        assert classify_replay_error("AdmParseError: boom") == "permanent"
+        assert (
+            classify_replay_error("ExternalEnrichmentError: down")
+            == "retryable"
+        )
 
     def test_replay_report_carries_provenance(self):
         system = self._ingest_with_failures(bad_ids={3})
