@@ -1,7 +1,7 @@
 """Perf observatory: run every BENCH_* suite through one harness.
 
 Runs each standalone benchmark script (wallclock, updates, elastic,
-chaos, scale-out, external) as a subprocess, collects the key machine-comparable
+chaos, scale-out, external, memo) as a subprocess, collects the key machine-comparable
 numbers from the ``BENCH_*.json`` each one writes, and appends a per-PR
 row to ``BENCH_TRAJECTORY.json`` at the repo root — one row per git
 head, so the file reads as the repo's performance history.
@@ -14,10 +14,10 @@ Usage::
     python benchmarks/bench_all.py --smoke --baseline BENCH_TRAJECTORY.json
 
 Exit is non-zero if any suite fails its own invariants (each script
-already gates itself), or — with ``--baseline`` — if the wall-clock
-planned or columnar speedup ratio dropped more than
-``--baseline-tolerance`` (default 20%) below the last committed
-trajectory row.  Speedup *ratios* are compared, never absolute rec/s:
+already gates itself), or — with ``--baseline`` — if a gated speedup
+ratio (wall-clock planned/columnar, or the memo's rate-0 simulated win)
+dropped more than ``--baseline-tolerance`` (default 20%) below the last
+committed trajectory row.  Speedup *ratios* are compared, never absolute rec/s:
 ratios survive machine and workload-size changes, throughput does not.
 """
 
@@ -72,6 +72,17 @@ def _external_summary(result: dict) -> dict:
     }
 
 
+def _memo_summary(result: dict) -> dict:
+    high = result["profiles"]["high_skew"]["rates"]
+    rate0 = high["0.0"]
+    return {
+        "sim_win_rate0": rate0["computing_seconds_win"],
+        "memo_hits_rate0": rate0["memo_on"]["memo_hits"],
+        "parity_all_unique": result["checks"]["exact_parity_at_all_unique_keys"],
+        "ok": result["ok"],
+    }
+
+
 def _scaleout_summary(result: dict) -> dict:
     return {
         "intake_speedup_at_max_partitions": result[
@@ -92,6 +103,14 @@ SUITES = {
     "chaos": ("bench_chaos.py", "BENCH_chaos.json", _chaos_summary),
     "scaleout": ("bench_scaleout.py", "BENCH_scaleout.json", _scaleout_summary),
     "external": ("bench_external.py", "BENCH_external.json", _external_summary),
+    "memo": ("bench_memo.py", "BENCH_memo.json", _memo_summary),
+}
+
+#: suite -> speedup-ratio metrics the --baseline gate compares (ratios
+#: survive machine and workload-size changes; absolute numbers do not)
+GATED_RATIOS = {
+    "wallclock": ("speedup", "columnar_speedup"),
+    "memo": ("sim_win_rate0",),
 }
 
 
@@ -204,27 +223,30 @@ def main(argv=None) -> int:
         )
         print(f"  {name:10s} {parts}")
 
-    if baseline_row is not None and "wallclock" in suites:
-        recorded = baseline_row.get("suites", {}).get("wallclock", {})
-        current = suites["wallclock"]
-        for metric in ("speedup", "columnar_speedup"):
-            recorded_value = recorded.get(metric)
-            if not recorded_value:
-                continue  # baseline predates this metric
-            floor = recorded_value * (1.0 - args.baseline_tolerance)
-            print(
-                f"  baseline wallclock {metric} {recorded_value:.2f}x "
-                f"(floor {floor:.2f}x at {args.baseline_tolerance:.0%} "
-                f"tolerance) -> current {current[metric]:.2f}x"
-            )
-            if current[metric] < floor:
+    if baseline_row is not None:
+        for suite_name, metrics in GATED_RATIOS.items():
+            if suite_name not in suites:
+                continue
+            recorded = baseline_row.get("suites", {}).get(suite_name, {})
+            current = suites[suite_name]
+            for metric in metrics:
+                recorded_value = recorded.get(metric)
+                if not recorded_value:
+                    continue  # baseline predates this metric
+                floor = recorded_value * (1.0 - args.baseline_tolerance)
                 print(
-                    f"FAIL: wallclock {metric} regressed more than "
-                    f"{args.baseline_tolerance:.0%} vs "
-                    f"{baseline_row.get('label', '?')} in {args.baseline}",
-                    file=sys.stderr,
+                    f"  baseline {suite_name} {metric} {recorded_value:.2f}x "
+                    f"(floor {floor:.2f}x at {args.baseline_tolerance:.0%} "
+                    f"tolerance) -> current {current[metric]:.2f}x"
                 )
-                return 1
+                if current[metric] < floor:
+                    print(
+                        f"FAIL: {suite_name} {metric} regressed more than "
+                        f"{args.baseline_tolerance:.0%} vs "
+                        f"{baseline_row.get('label', '?')} in {args.baseline}",
+                        file=sys.stderr,
+                    )
+                    return 1
     return 0
 
 

@@ -138,6 +138,22 @@ def layer_utilization_table(metrics, per_process: bool = False) -> str:
             f"{metrics.vectorized_records} record(s), "
             f"{metrics.scalar_fallbacks} scalar fallback(s)"
         )
+    state_total = metrics.state_cache_hits + metrics.state_cache_misses
+    if state_total:
+        lines.append(
+            f"state cache: {metrics.state_cache_hits} hit(s), "
+            f"{metrics.state_cache_misses} miss(es) "
+            f"({metrics.state_cache_hits / state_total:.0%} hit ratio), "
+            f"{metrics.state_cache_evictions} eviction(s)"
+        )
+    memo_total = metrics.memo_hits + metrics.memo_misses
+    if memo_total:
+        lines.append(
+            f"memo: {metrics.memo_hits} hit(s), "
+            f"{metrics.memo_misses} miss(es) "
+            f"({metrics.memo_hits / memo_total:.0%} hit ratio), "
+            f"{metrics.memo_evictions} eviction(s)"
+        )
     lines.append(
         f"makespan {metrics.makespan_seconds:.4f}s, "
         f"fill/drain {metrics.fill_drain_seconds:.4f}s, "

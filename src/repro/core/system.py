@@ -139,15 +139,18 @@ class AsterixLite:
         self.registry.invalidate_plans()
 
     def plan_cache_stats(self) -> Dict[str, int]:
-        """Plan-cache + enrichment-state-cache counters.
+        """Plan-cache + enrichment-state-cache + enrichment-memo counters.
 
         Plan-cache keys are unprefixed (``plans``/``hits``/``misses``/
         ``invalidations``); the cross-batch state cache's counters are
-        merged in under a ``state_cache_`` prefix.
+        merged in under a ``state_cache_`` prefix and the key-level
+        enrichment memo's under a ``memo_`` prefix.
         """
         stats = dict(self.registry.plan_cache.stats())
         for key, value in self.registry.state_cache.stats().items():
             stats[f"state_cache_{key}"] = value
+        for key, value in self.registry.enrichment_memo.stats().items():
+            stats[f"memo_{key}"] = value
         return stats
 
     def create_function(self, source_or_definition) -> None:

@@ -60,6 +60,12 @@ class CostModel:
     # (the reused table still occupies memory bandwidth when probed).
     state_cache_hit: float = 8.0e-6  # version check + install one entry
     state_cache_reuse_per_record: float = 0.05e-6  # per record reused
+    # Key-level enrichment memo: a hit swaps one probe + its per-match
+    # shaping for a version check + canonical-key lookup plus a per-record
+    # touch of the reused result (cheaper than the probe it replaces, but
+    # never free — the memo'd value still crosses memory).
+    memo_hit: float = 1.0e-6  # version check + one canonical-key lookup
+    memo_reuse_per_record: float = 0.05e-6  # per reused result record
 
     # Storage side
     store_per_record: float = 18.0e-6  # LSM write incl. log flush share
@@ -137,6 +143,8 @@ class WorkMeter:
     broadcast_records: int = 0  # probe-record deliveries (record x node)
     state_cache_hits: int = 0  # cross-batch build-state reuses
     state_cache_reused_records: int = 0  # records inside reused state
+    memo_hits: int = 0  # per-key enrichment-memo reuses
+    memo_reused_records: int = 0  # records inside reused memo results
     scale: float = 1.0  # reference work scale (not a counter)
 
     _COUNTERS = (
@@ -156,6 +164,8 @@ class WorkMeter:
         "broadcast_records",
         "state_cache_hits",
         "state_cache_reused_records",
+        "memo_hits",
+        "memo_reused_records",
     )
     #: counters proportional to reference-data cardinality
     _SCALED = frozenset(
@@ -169,6 +179,7 @@ class WorkMeter:
             "java_ops",
             "index_fetches",
             "state_cache_reused_records",
+            "memo_reused_records",
         }
     )
 
@@ -220,6 +231,8 @@ class WorkMeter:
             + scaled("state_cache_hits") * cost.state_cache_hit
             + scaled("state_cache_reused_records")
             * cost.state_cache_reuse_per_record
+            + scaled("memo_hits") * cost.memo_hit
+            + scaled("memo_reused_records") * cost.memo_reuse_per_record
             + scaled("penalized_reads")
             * cost.lsm_component_read
             * (cost.lsm_active_penalty - 1.0)

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ExternalEnrichmentError, IngestionError
 from ..runtime.faults import FaultPlan
 from ..runtime.metrics import ExternalMetrics
+from ..sqlpp.memo import EXTERNAL_VERSION_KEY, canonical_probe_key
 from .policy import DEFAULT_POLICY, ExternalFailureAction, FeedPolicy
 
 #: marker field on stored records whose enrichment is not yet resolved;
@@ -300,6 +301,7 @@ class EnrichmentCoordinator:
         feed_name: str = "",
         primary_key: str = "id",
         metrics: Optional[ExternalMetrics] = None,
+        memo=None,
     ):
         self.bindings = list(bindings)
         self.policy = policy
@@ -308,6 +310,12 @@ class EnrichmentCoordinator:
         self.feed_name = feed_name
         self.primary_key = primary_key
         self.metrics = metrics if metrics is not None else ExternalMetrics()
+        #: optional cross-batch EnrichmentMemo: an L2 hit on a canonical
+        #: probe key skips the remote call entirely — no lane time, no
+        #: rate-limit token, no breaker budget.  Only ``"ok"`` outcomes
+        #: are ever memoized, so pending/failed keys stay re-probable and
+        #: :func:`backfill_pending` semantics survive.
+        self.memo = memo
         #: record pk -> 'enriched' | 'pending' | 'dead_lettered'.  Keyed by
         #: primary key so at-least-once batch replays after a crash update
         #: the outcome instead of double-counting the record.
@@ -357,17 +365,44 @@ class EnrichmentCoordinator:
         if not self.bindings:
             return 0.0
         elapsed = 0.0
+        memo = self.memo
         resolved: List[Dict[object, Tuple[str, object]]] = []
         for binding in self.bindings:
-            keys: List[object] = []
+            # Dedup on the canonical probe key: one remote hit per distinct
+            # key per batch (L1), minus any key the cross-batch memo (L2)
+            # already resolved — those never reach the fetch stage at all.
+            keys: List[Tuple[object, object]] = []
             seen = set()
+            memoized: Dict[object, Tuple[str, object]] = {}
             for records in outputs:
                 for record in records:
-                    key = self._probe_key(record, binding, only_pending)
-                    if key is not None and key not in seen:
-                        seen.add(key)
-                        keys.append(key)
+                    raw = self._probe_key(record, binding, only_pending)
+                    if raw is None:
+                        continue
+                    ck = canonical_probe_key(raw)
+                    if ck in seen:
+                        continue
+                    seen.add(ck)
+                    if memo is not None:
+                        entry = memo.get(
+                            ("external", binding.label, ck),
+                            EXTERNAL_VERSION_KEY,
+                        )
+                        if entry is not None:
+                            memoized[ck] = ("ok", entry.value)
+                            continue
+                    keys.append((ck, raw))
             results, binding_elapsed = self._fetch(binding, keys, now + elapsed)
+            if memo is not None:
+                for ck, (outcome, value) in results.items():
+                    if outcome == "ok":
+                        memo.put(
+                            ("external", binding.label, ck),
+                            EXTERNAL_VERSION_KEY,
+                            value,
+                            1,
+                        )
+                results.update(memoized)
             elapsed += binding_elapsed
             resolved.append(results)
         for records in outputs:
@@ -386,9 +421,17 @@ class EnrichmentCoordinator:
         return record.get(binding.key_field)
 
     def _fetch(
-        self, binding: EnricherBinding, keys: List[object], now: float
+        self,
+        binding: EnricherBinding,
+        keys: List[Tuple[object, object]],
+        now: float,
     ) -> Tuple[Dict[object, Tuple[str, object]], float]:
-        """Resolve deduped ``keys`` through one enricher's lanes."""
+        """Resolve deduped ``(canonical, raw)`` keys through one enricher.
+
+        Raw keys go over the wire (the remote sees what the record holds);
+        results come back keyed by the canonical form, which is what
+        :meth:`_apply` and the memo look up.
+        """
         results: Dict[object, Tuple[str, object]] = {}
         if not keys:
             return results, 0.0
@@ -406,15 +449,16 @@ class EnrichmentCoordinator:
         lanes = [now] * policy.external_concurrency
         for chunk in chunks:
             lane = min(range(len(lanes)), key=lambda i: (lanes[i], i))
+            raw_chunk = [raw for _ck, raw in chunk]
             outcome, values, freed = self._call_with_retries(
-                enricher, breaker, bucket, chunk, lanes[lane]
+                enricher, breaker, bucket, raw_chunk, lanes[lane]
             )
             lanes[lane] = freed
-            for key in chunk:
+            for ck, raw in chunk:
                 if outcome == "ok":
-                    results[key] = ("ok", values[key])
+                    results[ck] = ("ok", values[raw])
                 else:
-                    results[key] = (outcome, None)
+                    results[ck] = (outcome, None)
         return results, max(lanes) - now
 
     def _call_with_retries(self, enricher, breaker, bucket, chunk, t):
@@ -475,7 +519,7 @@ class EnrichmentCoordinator:
             if key is None:
                 continue
             required = True
-            outcome, value = results[key]
+            outcome, value = results[canonical_probe_key(key)]
             if outcome == "ok":
                 record[binding.output_field] = value
             else:
@@ -527,8 +571,10 @@ class EnrichmentCoordinator:
         if key is not None:
             return key
         # Keyless record (shouldn't happen past storage validation): fall
-        # back to its canonical serialization so dedup still holds.
-        return json.dumps(record, sort_keys=True, default=str)
+        # back to its canonical probe-key form so dedup still holds — the
+        # same normalization the memo and per-batch key dedup use, so two
+        # field-order permutations of one record collapse to one key.
+        return canonical_probe_key(record)
 
     def _note(self, record: dict, outcome: str) -> None:
         self._outcomes[self._record_key(record)] = outcome
@@ -633,12 +679,22 @@ def backfill_pending(
         dict(record) for record in dataset.scan() if record.get(PENDING_FIELD)
     ]
     pending_rows.sort(key=lambda r: str(r.get(dataset.primary_key)))
+    memo = None
+    registry = getattr(system, "registry", None)
+    if resolved_policy.enrichment_memo_bytes > 0 and registry is not None:
+        # The backfill pass shares the registry's cross-batch memo: keys the
+        # live feed already resolved are reused, and keys the backfill
+        # resolves warm the memo for subsequent batches.  Pending markers
+        # themselves are never memoized, so every pending key re-probes.
+        memo = registry.enrichment_memo
+        memo.configure(resolved_policy.enrichment_memo_bytes)
     coordinator = EnrichmentCoordinator(
         resolved_bindings,
         resolved_policy,
         fault_plan=fault_plan,
         feed_name=feed_name,
         primary_key=dataset.primary_key,
+        memo=memo,
     )
     outputs = [pending_rows]
     elapsed = coordinator.enrich_batch(outputs, now, only_pending=True)

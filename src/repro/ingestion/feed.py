@@ -116,6 +116,13 @@ class FeedRunReport:
     state_cache_misses: int = 0
     state_cache_evictions: int = 0
     state_cache_bytes: int = 0
+    #: key-level enrichment memo activity during this run (same
+    #: conventions as the state cache fields; spans all three probe
+    #: paths — scalar, columnar, and external — which share one memo)
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    memo_bytes: int = 0
     #: columnar execution during this run (per-run deltas of the shared
     #: plan cache's cumulative counters): batches/records enriched through
     #: batch kernels, and scalar fallbacks (whole frames plus individual

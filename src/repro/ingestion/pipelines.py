@@ -889,6 +889,14 @@ class DynamicIngestionPipeline:
                 self.catalog, feed.name, policy, num_partitions=n
             )
         soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
+        memo = None
+        if policy.enrichment_memo_bytes > 0 and self.registry is not None:
+            # Opt-in cross-batch key-level result reuse (L2 memo): owned by
+            # the registry (same sharing/invalidations as the state cache),
+            # bounded by the policy's byte budget, and handed to both the
+            # local probe paths (via eval_ctx) and the external coordinator.
+            memo = self.registry.enrichment_memo
+            memo.configure(policy.enrichment_memo_bytes)
         coordinator = None
         if feed.external_enrichers:
             # One coordinator per run: breakers and rate limiters carry
@@ -900,6 +908,7 @@ class DynamicIngestionPipeline:
                 dead_letters=dead_letters,
                 feed_name=feed.name,
                 primary_key=dataset.primary_key,
+                memo=memo,
             )
 
         intake = _IntakeLayer(cluster, feed, num_partitions)
@@ -910,6 +919,7 @@ class DynamicIngestionPipeline:
             reference_work_scale=feed.reference_work_scale,
         )
         eval_ctx.cluster_nodes = n
+        eval_ctx.memo = memo
         if policy.state_cache_bytes > 0 and self.registry is not None:
             # Opt-in cross-batch build-state reuse: the registry-owned
             # cache is shared by every worker (and every feed) over this
@@ -1047,6 +1057,10 @@ class DynamicIngestionPipeline:
         state_cache_before = (
             state_cache.stats() if state_cache is not None else None
         )
+        # And for the shared key-level enrichment memo (covers all three
+        # probe paths — scalar, columnar, external — through one instance).
+        memo = eval_ctx.memo
+        memo_before = memo.stats() if memo is not None else None
         # Same convention for the shared plan cache's columnar counters.
         plan_cache_before = _plan_cache_snapshot(eval_ctx)
 
@@ -1539,6 +1553,12 @@ class DynamicIngestionPipeline:
                 after["evictions"] - state_cache_before["evictions"]
             )
             report.state_cache_bytes = after["bytes"]
+        if memo is not None and memo_before is not None:
+            after = memo.stats()
+            report.memo_hits = after["hits"] - memo_before["hits"]
+            report.memo_misses = after["misses"] - memo_before["misses"]
+            report.memo_evictions = after["evictions"] - memo_before["evictions"]
+            report.memo_bytes = after["bytes"]
         _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
         if coordinator is not None:
             report.external = coordinator.finalize()
@@ -1563,6 +1583,10 @@ class DynamicIngestionPipeline:
             state_cache_misses=report.state_cache_misses,
             state_cache_evictions=report.state_cache_evictions,
             state_cache_bytes=report.state_cache_bytes,
+            memo_hits=report.memo_hits,
+            memo_misses=report.memo_misses,
+            memo_evictions=report.memo_evictions,
+            memo_bytes=report.memo_bytes,
             vectorized_batches=report.vectorized_batches,
             vectorized_records=report.vectorized_records,
             scalar_fallbacks=report.scalar_fallbacks,

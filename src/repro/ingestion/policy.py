@@ -112,6 +112,13 @@ class FeedPolicy:
     #: version is unchanged).  ``0`` — the default — disables the cache
     #: entirely, keeping exact per-batch-rebuild cost accounting.
     state_cache_bytes: int = 0
+    #: byte budget for the cross-batch key-level enrichment memo (per-key
+    #: correlated-subquery / probe-kernel / external-enrichment results
+    #: reused across batches under the same version proofs as the state
+    #: cache; external hits skip the remote call, its rate-limit token,
+    #: and its breaker budget entirely).  ``0`` — the default — disables
+    #: the memo, keeping exact re-enrichment cost accounting.
+    enrichment_memo_bytes: int = 0
     #: partitioned-intake knob: run this many adapter partitions, each as
     #: its own supervised intake actor merging into the shared intake
     #: buffer under one logical per-partition ``(partition, seq)`` cursor.
@@ -151,6 +158,8 @@ class FeedPolicy:
     def __post_init__(self):
         if self.state_cache_bytes < 0:
             raise ValueError("state_cache_bytes must be >= 0")
+        if self.enrichment_memo_bytes < 0:
+            raise ValueError("enrichment_memo_bytes must be >= 0")
         if self.intake_partitions < 1:
             raise ValueError("intake_partitions must be >= 1")
         if self.max_subbatch_records < 0:

@@ -198,6 +198,13 @@ class RuntimeMetrics:
     state_cache_misses: int = 0
     state_cache_evictions: int = 0
     state_cache_bytes: int = 0  # resident bytes at run end (gauge)
+    #: key-level enrichment memo activity during this run (zeros when the
+    #: feed policy leaves the memo disabled); one shared memo spans the
+    #: scalar, columnar, and external probe paths
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    memo_bytes: int = 0  # resident bytes at run end (gauge)
     #: columnar execution during this run: batches/records enriched through
     #: vectorized batch kernels and scalar fallbacks (whole frames plus
     #: individual fallen-back columns)
@@ -234,6 +241,10 @@ class RuntimeMetrics:
         state_cache_misses: int = 0,
         state_cache_evictions: int = 0,
         state_cache_bytes: int = 0,
+        memo_hits: int = 0,
+        memo_misses: int = 0,
+        memo_evictions: int = 0,
+        memo_bytes: int = 0,
         vectorized_batches: int = 0,
         vectorized_records: int = 0,
         scalar_fallbacks: int = 0,
@@ -260,6 +271,10 @@ class RuntimeMetrics:
             state_cache_misses=state_cache_misses,
             state_cache_evictions=state_cache_evictions,
             state_cache_bytes=state_cache_bytes,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            memo_evictions=memo_evictions,
+            memo_bytes=memo_bytes,
             vectorized_batches=vectorized_batches,
             vectorized_records=vectorized_records,
             scalar_fallbacks=scalar_fallbacks,
@@ -364,6 +379,14 @@ class RuntimeMetrics:
                 f"  columnar: {self.vectorized_batches} vectorized "
                 f"batch(es), {self.vectorized_records} record(s), "
                 f"{self.scalar_fallbacks} scalar fallback(s)"
+            )
+        if self.memo_hits or self.memo_misses:
+            total = self.memo_hits + self.memo_misses
+            lines.append(
+                f"  memo: {self.memo_hits} hit(s), {self.memo_misses} "
+                f"miss(es) ({self.memo_hits / total:.0%} hit ratio), "
+                f"{self.memo_evictions} eviction(s), "
+                f"{self.memo_bytes} resident byte(s)"
             )
         if self.external is not None and self.external.any_activity:
             e = self.external

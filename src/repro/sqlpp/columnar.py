@@ -68,6 +68,7 @@ from .ast import (
 )
 from .evaluator import Env, _sort_key
 from .functions import AGGREGATE_NAMES, BUILTINS, VECTORIZABLE_BUILTINS
+from .memo import canonical_probe_key
 from .plans import (
     SelectPlan,
     aggregate_values,
@@ -669,6 +670,8 @@ def _compile_probe_kernel(
     else:
         shape = _compile_row_shape(inner_plan, block, var)
 
+    token = inner_plan.token
+
     def run(ev, cb):
         ctx = ev.ctx
         dataset = ctx.catalog[dataset_name]
@@ -681,24 +684,90 @@ def _compile_probe_kernel(
             # with different charges — this batch cannot vectorize.
             raise KernelFallback(f"B-tree on {dataset_name}.{field}")
         probe_col = probe_k(ev, cb)
-        table = ev._hash_table(dataset, field)
-        # one aggregated charge == n per-record `hash_probes += 1`
-        ctx.meter.hash_probes += cb.n
-        empty: List = []
-        get = table.get
-        out = []
-        append = out.append
-        for key in probe_col:
-            if key is MISSING or key is None:
-                matches = empty
-            elif key != key:
-                # NaN probe: dict lookup could identity-match the stored
-                # key, but the scalar WHERE recheck (NaN = NaN) rejects it
-                matches = empty
-            else:
-                matches = get(key, empty)
-            append(matches)
-        return shape(ev, out)
+        if ctx.memo is None:
+            table = ev._hash_table(dataset, field)
+            # one aggregated charge == n per-record `hash_probes += 1`
+            ctx.meter.hash_probes += cb.n
+            empty: List = []
+            get = table.get
+            out = []
+            append = out.append
+            for key in probe_col:
+                if key is MISSING or key is None:
+                    matches = empty
+                elif key != key:
+                    # NaN probe: dict lookup could identity-match the stored
+                    # key, but the scalar WHERE recheck (NaN = NaN) rejects it
+                    matches = empty
+                else:
+                    matches = get(key, empty)
+                append(matches)
+            return shape(ev, out)
+        return run_memoized(ev, cb, dataset, probe_col)
+
+    def run_memoized(ev, cb, dataset, probe_col):
+        """The probe pass with the key-level memo in front of it.
+
+        Every record whose canonical key is already shaped — in this batch
+        (L1 dict) or in a prior batch under the same dataset version (L2
+        memo) — reuses the shaped row list and is charged through the
+        priced ``memo_hits`` / ``memo_reused_records`` counters; only the
+        remaining misses acquire the hash table (an all-hit batch skips
+        even the build/StateCache lookup), pay their per-record
+        ``hash_probes``, and run the compiled shaping, so miss charges are
+        computed by exactly the unmemoized code.  With zero hits the
+        charges and output are identical to the plain path.  NULL/MISSING/
+        NaN probes never memoize (the scalar recheck semantics make them
+        per-record empties) and stay probe-charged misses.
+        """
+        ctx = ev.ctx
+        memo = ctx.memo
+        meter = ctx.meter
+        version_key = ((dataset_name, dataset.version),)
+        l1: Dict = {}
+        l1_get = l1.get
+        slots: List = [None] * cb.n
+        miss_indices: List[int] = []
+        miss_keys: List = []
+        for i, key in enumerate(probe_col):
+            if key is MISSING or key is None or key != key:
+                miss_indices.append(i)
+                miss_keys.append(key)
+                continue
+            ck = canonical_probe_key(key)
+            rows = l1_get(ck)
+            if rows is None:
+                entry = memo.get(("probe", token, ck), version_key)
+                if entry is None:
+                    miss_indices.append(i)
+                    miss_keys.append(key)
+                    continue
+                rows = entry.value
+                l1[ck] = rows
+            meter.memo_hits += 1
+            meter.memo_reused_records += len(rows)
+            slots[i] = rows
+        if miss_indices:
+            table = ev._hash_table(dataset, field)
+            meter.hash_probes += len(miss_indices)
+            empty: List = []
+            get = table.get
+            out = []
+            for key in miss_keys:
+                if key is MISSING or key is None or key != key:
+                    out.append(empty)
+                else:
+                    out.append(get(key, empty))
+            shaped = shape(ev, out)
+            memo_put = memo.put
+            for slot, key, rows in zip(miss_indices, miss_keys, shaped):
+                slots[slot] = rows
+                if key is MISSING or key is None or key != key:
+                    continue
+                ck = canonical_probe_key(key)
+                l1[ck] = rows
+                memo_put(("probe", token, ck), version_key, rows, len(rows))
+        return slots
 
     return run
 

@@ -76,6 +76,7 @@ from .plans import (
     truthy,
 )
 from .plans import find_access_path as _plan_find_access_path
+from .memo import canonical_probe_key
 from .state_cache import StateCache, dataset_version_key
 
 
@@ -91,6 +92,7 @@ class EvaluationContext:
         reference_work_scale: float = 1.0,
         use_plans: bool = True,
         state_cache=None,
+        memo=None,
     ):
         self.catalog = catalog
         self.functions = functions  # repro.udf.FunctionRegistry or None
@@ -119,6 +121,11 @@ class EvaluationContext:
         # accounting; feed pipelines attach the registry-owned cache when
         # the feed's policy grants a byte budget.
         self.state_cache = state_cache
+        # Cross-batch key-level enrichment memo (per-key correlated
+        # subquery / probe-kernel results).  Same attach contract as the
+        # state cache: ``None`` by default, wired in by the pipelines when
+        # ``FeedPolicy.enrichment_memo_bytes`` grants a budget.
+        self.memo = memo
 
     def refresh_batch(self) -> None:
         """Drop all cached intermediate state (a new batch begins)."""
@@ -190,6 +197,10 @@ class Env:
 _truthy = truthy
 
 _ITEM0 = itemgetter(0)
+
+# Returned by _memoized_correlated when the memo proof does not hold and
+# the caller must fall through to a live _planned_select evaluation.
+_MEMO_BYPASS = object()
 
 
 def _sort_key(value):
@@ -435,6 +446,14 @@ class Evaluator:
                             key, version_key, result, len(result)
                         )
                 return ctx.batch_cache[key]
+            if (
+                ctx.memo is not None
+                and plan.correlated_vars
+                and plan.correlated_deps
+            ):
+                result = self._memoized_correlated(plan, env)
+                if result is not _MEMO_BYPASS:
+                    return result
             return self._planned_select(plan, env)
         fv = free_vars(block)
         if fv and all(name in ctx.catalog for name in fv):
@@ -694,6 +713,43 @@ class Evaluator:
         cache = self.ctx.state_cache
         if cache is not None:
             cache.put(state_key, version_key, value, records)
+
+    def _memoized_correlated(self, plan, env):
+        """Key-level memo for a correlated (hash-probe-backed) subquery.
+
+        The block's result is a pure function of (a) the bindings of its
+        free outer variables and (b) the contents of the catalog datasets
+        it reads — so an entry keyed on the canonical outer bindings and
+        guarded by the datasets' ``dataset_version_key`` is a proof the
+        recomputation would be identical.  Bypasses (returns
+        :data:`_MEMO_BYPASS`) whenever the proof does not hold: an outer
+        variable is unbound here, a dep dataset is missing from the
+        catalog, or a dep dataset carries a secondary index the planner
+        may probe *live* (live index probes see mid-batch updates, which
+        a cross-batch memo must never mask).
+        """
+        ctx = self.ctx
+        catalog = ctx.catalog
+        for name in plan.correlated_deps:
+            dataset = catalog.get(name)
+            if dataset is None or (ctx.allow_index and dataset.indexes):
+                return _MEMO_BYPASS
+        bindings = []
+        for var in plan.correlated_vars:
+            value = env.lookup(var)
+            if value is Env._SENTINEL:
+                return _MEMO_BYPASS
+            bindings.append(canonical_probe_key(value))
+        key = ("correlated", plan.token, tuple(bindings))
+        version_key = dataset_version_key(catalog, plan.correlated_deps)
+        entry = ctx.memo.get(key, version_key)
+        if entry is not None:
+            ctx.meter.memo_hits += 1
+            ctx.meter.memo_reused_records += entry.records
+            return entry.value
+        result = self._planned_select(plan, env)
+        ctx.memo.put(key, version_key, result, len(result))
+        return result
 
     def _scan_dataset(self, dataset) -> List[dict]:
         """Batch-cached full scan (once per context generation)."""

@@ -679,6 +679,8 @@ class SelectPlan:
         "token",
         "cacheable",
         "dataset_deps",  # frozenset of referenced datasets when cacheable
+        "correlated_vars",  # sorted tuple of free non-catalog (outer) vars
+        "correlated_deps",  # frozenset of free catalog datasets
         "catalog_names",
         "let_fns",
         "post_let_fns",
@@ -714,6 +716,11 @@ def build_select_plan(
     # The datasets the cached result is derived from: the guard set for
     # the cross-batch StateCache's version key (None when not cacheable).
     plan.dataset_deps = frozenset(fv) if plan.cacheable else None
+    # Correlated split (the key-level enrichment memo's guard material):
+    # the outer variables whose bindings parameterize the block's result,
+    # and the catalog datasets the result is derived from.
+    plan.correlated_vars = tuple(sorted(fv - catalog_names))
+    plan.correlated_deps = frozenset(fv & catalog_names)
     plan.let_fns = tuple((let.var, compile_expr(let.expr)) for let in block.lets)
     plan.post_let_fns = tuple(
         (let.var, compile_expr(let.expr)) for let in block.post_lets

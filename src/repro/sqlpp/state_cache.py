@@ -51,16 +51,69 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-#: default per-entry overhead + per-record estimate used by
-#: :func:`estimate_record_bytes`; deliberately coarse — the budget is a
-#: working-set bound, not an accounting ledger.
+#: fixed per-entry overhead (key + version key + OrderedDict slot) and the
+#: legacy per-record estimate kept for callers that size by row count.
 ENTRY_OVERHEAD_BYTES = 512
 RECORD_ESTIMATE_BYTES = 256
 
 
 def estimate_record_bytes(records: int) -> int:
-    """Cheap size estimate for a materialised state of ``records`` rows."""
+    """Legacy row-count size estimate (``512 + 256·records``).
+
+    Superseded by :func:`estimate_payload_bytes` as the cache's default
+    sizer — a record count says nothing about whether the rows are bare
+    ints or kilobyte documents — but kept for callers that only know a
+    cardinality.
+    """
     return ENTRY_OVERHEAD_BYTES + RECORD_ESTIMATE_BYTES * max(0, int(records))
+
+
+#: CPython-flavoured base costs for the payload-aware sizer: small-object
+#: header + typical container slack.  Estimates, not ``sys.getsizeof``
+#: truth — the budget is a working-set bound, not an accounting ledger —
+#: but they track *relative* entry weight, which is what LRU-by-bytes
+#: eviction order actually depends on.
+_SCALAR_BYTES = 28
+_STR_BASE_BYTES = 49
+_BYTES_BASE_BYTES = 33
+_SEQ_BASE_BYTES = 56
+_SEQ_SLOT_BYTES = 8
+_DICT_BASE_BYTES = 64
+_DICT_SLOT_BYTES = 24
+_OPAQUE_BYTES = 48
+
+
+def estimate_payload_bytes(value) -> int:
+    """Recursive, payload-aware size estimate for a cached value.
+
+    Walks dicts/lists/tuples/sets and sums per-element estimates, so an
+    entry holding ten 1 KiB documents weighs ~40× one holding ten small
+    ints — unlike :func:`estimate_record_bytes`, which priced both
+    identically.  Shared sub-objects are counted at every reference
+    (deliberate: eviction should track what the entry *pins*, and a
+    conservative overestimate only evicts a little early).
+    """
+    if value is None or isinstance(value, (bool, int, float)):
+        return _SCALAR_BYTES
+    if isinstance(value, str):
+        return _STR_BASE_BYTES + len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return _BYTES_BASE_BYTES + len(value)
+    if isinstance(value, dict):
+        total = _DICT_BASE_BYTES
+        for key, item in value.items():
+            total += (
+                _DICT_SLOT_BYTES
+                + estimate_payload_bytes(key)
+                + estimate_payload_bytes(item)
+            )
+        return total
+    if isinstance(value, (list, tuple, set, frozenset)):
+        total = _SEQ_BASE_BYTES
+        for item in value:
+            total += _SEQ_SLOT_BYTES + estimate_payload_bytes(item)
+        return total
+    return _OPAQUE_BYTES  # datetimes, spatial values, other leaf objects
 
 
 class StateCacheEntry:
@@ -132,7 +185,7 @@ class StateCache:
     ) -> None:
         """Install freshly built state under the current version key."""
         if nbytes is None:
-            nbytes = estimate_record_bytes(records)
+            nbytes = ENTRY_OVERHEAD_BYTES + estimate_payload_bytes(value)
         old = self._entries.pop(key, None)
         if old is not None:
             self.current_bytes -= old.nbytes
@@ -167,6 +220,12 @@ class StateCache:
 
     # ----------------------------------------------------------------- stats
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def stats(self) -> Dict[str, int]:
         return {
             "entries": len(self._entries),
@@ -174,6 +233,7 @@ class StateCache:
             "budget_bytes": self.budget_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "version_mismatches": self.version_mismatches,

@@ -8,6 +8,7 @@ from ..errors import UdfError, UdfRegistrationError
 from ..sqlpp.analysis import is_stateful, uses_unsupported_builtin
 from ..sqlpp.ast import FunctionDefinition
 from ..sqlpp.parser import parse_function
+from ..sqlpp.memo import EnrichmentMemo
 from ..sqlpp.plans import PlanCache
 from ..sqlpp.state_cache import StateCache
 
@@ -50,6 +51,10 @@ class FunctionRegistry:
         # Owned here so every feed over this registry shares one bounded
         # working set; disabled (budget 0) until a FeedPolicy grants bytes.
         self.state_cache = StateCache()
+        # Cross-batch key-level enrichment memo (per-key results reused
+        # across batches under the same version proofs).  Same ownership
+        # rationale as the state cache; same default-off budget.
+        self.enrichment_memo = EnrichmentMemo()
         # Bumped on every registration change; prepared invokers re-resolve
         # their function when it moves (§3.2 instant updates).
         self.version = 0
@@ -97,9 +102,10 @@ class FunctionRegistry:
         # Old plans may close over the replaced body; drop them all so the
         # next batch replans against the new definition.  Cached build
         # state may have been produced by the old body's subqueries, so it
-        # goes too.
+        # goes too, as do memoized per-key results it produced.
         self.plan_cache.invalidate()
         self.state_cache.clear()
+        self.enrichment_memo.clear()
         return udf
 
     def invalidate_plans(self) -> None:
@@ -107,8 +113,10 @@ class FunctionRegistry:
         self.plan_cache.invalidate()
         # DDL can change access paths and even dataset identity without
         # bumping any Dataset.version (create_index/drop_index), so the
-        # version-keyed state cache must start cold as well.
+        # version-keyed state cache must start cold as well — and so must
+        # the per-key memo, whose entries are guarded by the same keys.
         self.state_cache.clear()
+        self.enrichment_memo.clear()
         self.version += 1
 
     # ----------------------------------------------------------------- java

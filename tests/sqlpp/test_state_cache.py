@@ -10,12 +10,18 @@ from repro.sqlpp.state_cache import (
     RECORD_ESTIMATE_BYTES,
     StateCache,
     dataset_version_key,
+    estimate_payload_bytes,
     estimate_record_bytes,
 )
 
 
 def entry_bytes(records: int) -> int:
     return ENTRY_OVERHEAD_BYTES + RECORD_ESTIMATE_BYTES * records
+
+
+def payload_entry_bytes(value) -> int:
+    """What ``put`` charges when no explicit ``nbytes`` is given."""
+    return ENTRY_OVERHEAD_BYTES + estimate_payload_bytes(value)
 
 
 class TestStateCacheUnit:
@@ -36,10 +42,11 @@ class TestStateCacheUnit:
         cache.put(("scan", "R"), 2, ["new"], records=1)
         assert len(cache) == 1
         assert cache.get(("scan", "R"), 2).value == ["new"]
-        assert cache.current_bytes == entry_bytes(1)
+        assert cache.current_bytes == payload_entry_bytes(["new"])
 
     def test_lru_eviction_by_bytes(self):
-        budget = entry_bytes(10) * 2  # room for two 10-record entries
+        size = payload_entry_bytes("a")  # one-char payloads weigh the same
+        budget = size * 2  # room for two such entries
         cache = StateCache(budget_bytes=budget)
         cache.put(("scan", "A"), 1, "a", records=10)
         cache.put(("scan", "B"), 1, "b", records=10)
@@ -52,21 +59,22 @@ class TestStateCacheUnit:
         assert cache.current_bytes <= budget
 
     def test_oversized_entry_not_admitted(self):
-        cache = StateCache(budget_bytes=entry_bytes(10))
+        cache = StateCache(budget_bytes=payload_entry_bytes("a" * 64))
         cache.put(("scan", "A"), 1, "a", records=5)
-        cache.put(("scan", "BIG"), 1, "big", records=1000)
+        cache.put(("scan", "BIG"), 1, "x" * 4096, records=1)
         # The oversized entry is rejected without flushing the cache.
         assert ("scan", "BIG") not in cache
         assert ("scan", "A") in cache
         assert cache.stats()["evictions"] == 0
 
     def test_configure_shrink_evicts_immediately(self):
-        cache = StateCache(budget_bytes=entry_bytes(10) * 4)
+        size = payload_entry_bytes("A")
+        cache = StateCache(budget_bytes=size * 4)
         for name in "ABCD":
             cache.put(("scan", name), 1, name, records=10)
-        cache.configure(entry_bytes(10))
+        cache.configure(size)
         assert len(cache) == 1
-        assert cache.current_bytes <= entry_bytes(10)
+        assert cache.current_bytes <= size
 
     def test_clear_counts_invalidation(self):
         cache = StateCache(budget_bytes=1 << 20)
@@ -80,11 +88,11 @@ class TestStateCacheUnit:
     def test_eviction_never_invalidates_a_pinned_value(self):
         """A batch that installed the value into its batch cache keeps a
         strong reference, so eviction only drops the cache's own ref."""
-        cache = StateCache(budget_bytes=entry_bytes(10))
         table = {"k": ["v"]}
+        cache = StateCache(budget_bytes=payload_entry_bytes(table))
         cache.put(("hash", "R", "f"), 1, table, records=10)
         pinned = cache.get(("hash", "R", "f"), 1).value
-        cache.put(("hash", "S", "f"), 1, {"other": []}, records=10)  # evicts R
+        cache.put(("hash", "S", "f"), 1, {"o": []}, records=10)  # evicts R
         assert ("hash", "R", "f") not in cache
         assert pinned is table and pinned["k"] == ["v"]
 
@@ -92,6 +100,54 @@ class TestStateCacheUnit:
         assert estimate_record_bytes(0) == ENTRY_OVERHEAD_BYTES
         assert estimate_record_bytes(4) == entry_bytes(4)
         assert estimate_record_bytes(-3) == ENTRY_OVERHEAD_BYTES
+
+    def test_payload_sizer_tracks_actual_weight(self):
+        """Ten fat documents must weigh far more than ten bare ints —
+        the regression the legacy row-count estimate could not see."""
+        fat = [{"body": "x" * 1024, "tags": ["a", "b", "c"]} for _ in range(10)]
+        thin = list(range(10))
+        assert estimate_payload_bytes(fat) > 20 * estimate_payload_bytes(thin)
+        # Nesting is walked, not flat-priced.
+        assert estimate_payload_bytes({"a": [1, 2]}) > estimate_payload_bytes(
+            {"a": []}
+        )
+        # Scalars and strings scale with content.
+        assert estimate_payload_bytes("x" * 100) > estimate_payload_bytes("x")
+
+    def test_eviction_order_tracks_entry_weight(self):
+        """LRU budgeting uses per-entry payload weight: admitting one heavy
+        entry evicts as many light LRU entries as its weight displaces."""
+        light = {"v": 1}
+        heavy = [{"doc": "y" * 512} for _ in range(8)]
+        light_size = payload_entry_bytes(light)
+        heavy_size = payload_entry_bytes(heavy)
+        assert heavy_size > 3 * light_size
+        budget = heavy_size + 2 * light_size
+        cache = StateCache(budget_bytes=budget)
+        for name in "ABCD":  # 4 light entries, all fit
+            cache.put(("scan", name), 1, dict(light), records=1)
+        assert len(cache) == 4
+        cache.put(("scan", "HEAVY"), 1, heavy, records=8)
+        # The heavy entry displaced exactly the LRU tail its weight needs:
+        # A and B go, C and D stay.
+        assert ("scan", "A") not in cache
+        assert ("scan", "B") not in cache
+        assert ("scan", "C") in cache
+        assert ("scan", "D") in cache
+        assert ("scan", "HEAVY") in cache
+        assert cache.current_bytes <= budget
+        assert cache.stats()["evictions"] == 2
+
+    def test_hit_ratio_in_stats(self):
+        cache = StateCache(budget_bytes=1 << 20)
+        assert cache.hit_ratio == 0.0  # no lookups yet
+        cache.put(("scan", "R"), 1, ["r"], records=1)
+        cache.get(("scan", "R"), 1)  # hit
+        cache.get(("scan", "R"), 2)  # stale -> miss
+        cache.get(("scan", "Q"), 1)  # absent -> miss
+        stats = cache.stats()
+        assert stats["hit_ratio"] == pytest.approx(1 / 3)
+        assert cache.hit_ratio == pytest.approx(1 / 3)
 
     def test_dataset_version_key_sorted_and_filtered(self):
         class FakeDs:
