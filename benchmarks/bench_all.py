@@ -1,7 +1,7 @@
 """Perf observatory: run every BENCH_* suite through one harness.
 
 Runs each standalone benchmark script (wallclock, updates, elastic,
-chaos, scale-out, external, memo) as a subprocess, collects the key machine-comparable
+chaos, scale-out, external, memo, multitenant) as a subprocess, collects the key machine-comparable
 numbers from the ``BENCH_*.json`` each one writes, and appends a per-PR
 row to ``BENCH_TRAJECTORY.json`` at the repo root — one row per git
 head, so the file reads as the repo's performance history.
@@ -83,6 +83,17 @@ def _memo_summary(result: dict) -> dict:
     }
 
 
+def _multitenant_summary(result: dict) -> dict:
+    return {
+        "skewed_speedup": result["skewed_speedup"],
+        "uniform_speedup": result["uniform_speedup"],
+        "recalls_issued": result["skewed"]["fabric"]["fabric_summary"][
+            "recalls_issued"
+        ],
+        "ok": result["ok"],
+    }
+
+
 def _scaleout_summary(result: dict) -> dict:
     return {
         "intake_speedup_at_max_partitions": result[
@@ -104,6 +115,11 @@ SUITES = {
     "scaleout": ("bench_scaleout.py", "BENCH_scaleout.json", _scaleout_summary),
     "external": ("bench_external.py", "BENCH_external.json", _external_summary),
     "memo": ("bench_memo.py", "BENCH_memo.json", _memo_summary),
+    "multitenant": (
+        "bench_multitenant.py",
+        "BENCH_multitenant.json",
+        _multitenant_summary,
+    ),
 }
 
 #: suite -> speedup-ratio metrics the --baseline gate compares (ratios
@@ -111,6 +127,7 @@ SUITES = {
 GATED_RATIOS = {
     "wallclock": ("speedup", "columnar_speedup"),
     "memo": ("sim_win_rate0",),
+    "multitenant": ("skewed_speedup",),
 }
 
 

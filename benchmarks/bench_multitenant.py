@@ -1,0 +1,95 @@
+"""Multi-tenant feed-fabric benchmark: fabric vs static equal split.
+
+Runs an 8-feed fleet on one shared simulated runtime twice per workload
+shape — once under a :class:`FeedFabric` global worker budget, once with
+the budget statically equal-split across feeds — verifying:
+
+* >= 1.5x fleet-makespan speedup on a skewed (2 heavy / 6 light) fleet;
+* parity within tolerance on a uniform fleet (no skew to exploit);
+* byte-identical per-feed stored outputs fabric-on vs fabric-off;
+* deterministic repeats (same makespans + per-feed output hashes);
+* the worker budget is never exceeded and heavy tenants actually borrow;
+* a memory-governed run stores the same bytes while splitting one cache
+  budget across tenants.
+
+Output goes to ``BENCH_multitenant.json`` at the repo root (simulated
+numbers; ``benchmarks/results/`` holds the paper-figure tables only).
+
+Usage::
+
+    python benchmarks/bench_multitenant.py            # full run
+    python benchmarks/bench_multitenant.py --smoke    # quick CI run
+
+Exits non-zero if any invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI (fewer records)",
+    )
+    parser.add_argument("--heavy-records", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_multitenant.json",
+    )
+    args = parser.parse_args(argv)
+
+    heavy_records = args.heavy_records or (800 if args.smoke else 2400)
+    batch_size = args.batch_size or (40 if args.smoke else 80)
+    words = 120 if args.smoke else 200
+
+    from repro.bench.multitenant import run_multitenant
+
+    result = run_multitenant(
+        heavy_records=heavy_records, batch_size=batch_size, words=words
+    )
+    result["mode"] = "smoke" if args.smoke else "full"
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"multitenant benchmark -> {args.output}")
+    print(
+        f"  skewed fleet speedup: {result['skewed_speedup']:.2f}x "
+        f"(floor {result['skewed_speedup_floor']}x)"
+    )
+    print(
+        f"  uniform fleet speedup: {result['uniform_speedup']:.2f}x "
+        f"(parity floor {result['uniform_parity_floor']}x)"
+    )
+    summary = result["skewed"]["fabric"]["fabric_summary"]
+    print(
+        f"  skewed fabric: peak {summary['peak_total_held']}/"
+        f"{summary['total_workers']} worker(s) held, "
+        f"{summary['leases_granted']} lease(s) granted, "
+        f"{summary['recalls_issued']} recall(s)"
+    )
+    governed = result["governed"]
+    print(
+        f"  governed run: {governed['governor']['rebalances']} "
+        f"rebalance(s), {governed['governor']['grants']} grant(s)"
+    )
+    for name, passed in result["checks"].items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    if not result["ok"]:
+        print("multitenant benchmark FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

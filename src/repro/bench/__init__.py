@@ -18,6 +18,7 @@ from .harness import (
 from .reporting import (
     ascii_bar_chart,
     ascii_line_chart,
+    fleet_utilization_table,
     layer_utilization_table,
     speedup_table,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "env_scale",
     "env_tweets",
     "format_table",
+    "fleet_utilization_table",
     "layer_utilization_table",
     "scaled_batch_sizes",
 ]

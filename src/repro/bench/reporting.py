@@ -89,7 +89,9 @@ def ascii_line_chart(
     return "\n".join(lines)
 
 
-def layer_utilization_table(metrics, per_process: bool = False) -> str:
+def layer_utilization_table(
+    metrics, per_process: bool = False, label: Optional[str] = None
+) -> str:
     """Render a :class:`~repro.runtime.RuntimeMetrics` per-layer summary.
 
     One row per layer with busy/idle/blocked seconds and utilization over
@@ -100,13 +102,20 @@ def layer_utilization_table(metrics, per_process: bool = False) -> str:
     busy can exceed the makespan (overlapped work).  ``per_process=True``
     adds an indented row per process under each multi-process layer,
     showing each worker's own share.
+
+    ``label`` names the feed the metrics belong to — pass it when several
+    feeds' tables are printed together (e.g. a ``start_feeds`` fleet) so
+    each table's rows are unambiguously that tenant's.
     """
     if metrics is None:
-        return "(no runtime metrics)"
-    lines = [
+        return f"[{label}] (no runtime metrics)" if label else "(no runtime metrics)"
+    lines = []
+    if label:
+        lines.append(f"[{label}]")
+    lines.append(
         f"{'layer':<12} {'busy (s)':>10} {'idle (s)':>10} "
         f"{'blocked (s)':>12} {'utilized':>9}"
-    ]
+    )
     for name in sorted(metrics.layers):
         times = metrics.layers[name]
         lines.append(
@@ -154,6 +163,12 @@ def layer_utilization_table(metrics, per_process: bool = False) -> str:
             f"({metrics.memo_hits / memo_total:.0%} hit ratio), "
             f"{metrics.memo_evictions} eviction(s)"
         )
+    if metrics.lease_timeline or metrics.governor_grants:
+        lines.append(
+            f"fabric: +{metrics.borrowed_workers} borrowed worker(s) at "
+            f"peak, {len(metrics.lease_timeline)} lease step(s), "
+            f"{len(metrics.governor_grants)} governor grant(s)"
+        )
     lines.append(
         f"makespan {metrics.makespan_seconds:.4f}s, "
         f"fill/drain {metrics.fill_drain_seconds:.4f}s, "
@@ -161,6 +176,34 @@ def layer_utilization_table(metrics, per_process: bool = False) -> str:
         f"holder high-water {metrics.holder_high_water} frame(s)"
     )
     return "\n".join(lines)
+
+
+def fleet_utilization_table(reports: Dict[str, object], per_process: bool = False) -> str:
+    """Render every feed of a ``start_feeds`` fleet as labeled sections.
+
+    ``reports`` is the ``{feed name: FeedRunReport}`` mapping
+    :meth:`AsterixLite.start_feeds` returns.  Each feed gets its own
+    labeled :func:`layer_utilization_table` (rows are disjoint per
+    tenant), followed by a fleet footer summing stored records and worker
+    borrowing across tenants.
+    """
+    sections = []
+    total_stored = 0
+    total_borrowed = 0
+    for name in sorted(reports):
+        report = reports[name]
+        sections.append(
+            layer_utilization_table(
+                report.runtime, per_process=per_process, label=name
+            )
+        )
+        total_stored += report.records_stored
+        total_borrowed += report.borrowed_workers
+    sections.append(
+        f"fleet: {len(reports)} feed(s), {total_stored} record(s) stored, "
+        f"{total_borrowed} peak borrowed worker(s) across tenants"
+    )
+    return "\n\n".join(sections)
 
 
 def speedup_table(

@@ -47,6 +47,7 @@ class ClusterController:
         self.simulated_deploy_seconds = 0.0
         self.active_runs: List[str] = []
         self.runs_completed = 0
+        self.peak_concurrent_runs = 0
 
     # --------------------------------------------------------- run lifecycle
 
@@ -55,6 +56,9 @@ class ClusterController:
         if run_name in self.active_runs:
             raise HyracksError(f"run {run_name!r} is already active")
         self.active_runs.append(run_name)
+        self.peak_concurrent_runs = max(
+            self.peak_concurrent_runs, len(self.active_runs)
+        )
 
     def finish_run(self, run_name: str) -> None:
         if run_name in self.active_runs:
@@ -132,6 +136,27 @@ class Cluster:
         self.runner = LocalJobRunner(num_nodes, self.cost_model, clock=self.clock)
         self.controller = ClusterController(self.nodes, self.runner)
         self.holder_manager = PartitionHolderManager()
+        #: the cluster's default multi-tenant arbiter; ``start_feeds``
+        #: uses it when no fabric is passed explicitly
+        self.fabric = None
+
+    def attach_fabric(self, fabric) -> None:
+        """Install a :class:`~repro.ingestion.fabric.FeedFabric` as this
+        cluster's default arbiter for multi-feed runs.
+
+        A fabric arbitrates exactly one run (its lease ledger is a run
+        artifact), so attaching replaces any previous — typically spent —
+        fabric.  Refuses to swap while runs are in flight.
+        """
+        if self.controller.active_runs:
+            raise HyracksError(
+                "cannot attach a fabric while runs are active: "
+                + ", ".join(self.controller.active_runs)
+            )
+        self.fabric = fabric
+
+    def detach_fabric(self) -> None:
+        self.fabric = None
 
     def new_runtime(self, name: str) -> Runtime:
         """A discrete-event runtime sharing the cluster's clock."""

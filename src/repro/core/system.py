@@ -34,12 +34,13 @@ from ..ingestion.feed import (
     FeedRunReport,
     Framework,
 )
+from ..ingestion.fabric import FeedLaunch, merge_fault_plans
 from ..ingestion.pipelines import (
     ActiveFeedManager,
     DynamicIngestionPipeline,
     StaticIngestionPipeline,
 )
-from ..ingestion.policy import FeedPolicy
+from ..ingestion.policy import DEFAULT_POLICY, FeedPolicy
 from ..runtime.faults import FaultPlan
 from ..sqlpp.compiler import QueryCompiler, run_insert
 from ..storage.checkpoint import CheckpointStore
@@ -138,14 +139,38 @@ class AsterixLite:
         self._dataset(dataset).drop_index(name)
         self.registry.invalidate_plans()
 
-    def plan_cache_stats(self) -> Dict[str, int]:
+    def plan_cache_stats(self, feed: Optional[str] = None) -> Dict[str, int]:
         """Plan-cache + enrichment-state-cache + enrichment-memo counters.
 
-        Plan-cache keys are unprefixed (``plans``/``hits``/``misses``/
-        ``invalidations``); the cross-batch state cache's counters are
-        merged in under a ``state_cache_`` prefix and the key-level
-        enrichment memo's under a ``memo_`` prefix.
+        With no ``feed``, the registry-global view: plan-cache keys are
+        unprefixed (``plans``/``hits``/``misses``/``invalidations``); the
+        cross-batch state cache's counters are merged in under a
+        ``state_cache_`` prefix and the key-level enrichment memo's under
+        a ``memo_`` prefix.  Under concurrent feeds those singleton
+        counters interleave every tenant's traffic, so pass a feed name
+        to get *that feed's* disjoint, labeled row instead: its last
+        run's per-run cache/memo deltas plus its columnar counters (all
+        zero before the feed's first run).
         """
+        if feed is not None:
+            report = self._feed(feed).last_report
+            stats: Dict[str, int] = {"feed": feed}
+            if report is None:
+                return stats
+            stats.update(
+                state_cache_hits=report.state_cache_hits,
+                state_cache_misses=report.state_cache_misses,
+                state_cache_evictions=report.state_cache_evictions,
+                state_cache_bytes=report.state_cache_bytes,
+                memo_hits=report.memo_hits,
+                memo_misses=report.memo_misses,
+                memo_evictions=report.memo_evictions,
+                memo_bytes=report.memo_bytes,
+                vectorized_batches=report.vectorized_batches,
+                vectorized_records=report.vectorized_records,
+                scalar_fallbacks=report.scalar_fallbacks,
+            )
+            return stats
         stats = dict(self.registry.plan_cache.stats())
         for key, value in self.registry.state_cache.stats().items():
             stats[f"state_cache_{key}"] = value
@@ -287,6 +312,141 @@ class AsterixLite:
             state.running = False
         state.last_report = report
         return report
+
+    def start_feeds(
+        self,
+        launches: Sequence[Union[str, FeedLaunch]],
+        fabric=None,
+        computing_model: ComputingModel = ComputingModel.PER_BATCH,
+    ) -> Dict[str, FeedRunReport]:
+        """Run several feeds concurrently on one shared simulated runtime.
+
+        Each entry is a :class:`~repro.ingestion.fabric.FeedLaunch` (or a
+        bare feed name for all-default settings).  Every feed's layers run
+        as processes on *one* discrete-event runtime sharing the cluster
+        clock, so the feeds genuinely contend: the fleet's makespan — the
+        shared runtime's elapsed time — lands in every report's
+        ``simulated_seconds``.
+
+        ``fabric`` (a :class:`~repro.ingestion.fabric.FeedFabric`) makes
+        the fleet multi-tenant: per-feed elastic controllers bid into one
+        global worker budget, and — when the fabric carries a memory
+        governor — each feed's cache/memo becomes a governed private
+        tenant.  Defaults to the cluster's attached fabric
+        (:meth:`Cluster.attach_fabric`) when that one is fresh, else no
+        arbitration (feeds still share the clock but size their pools
+        independently).  Per-feed stored outputs are byte-identical with
+        and without a fabric — the fabric only changes pool sizes over
+        time, never batch order.
+
+        Per-feed fault plans are merged onto the shared runtime; target
+        entries should use feed-scoped names (``feed-<name>.computing``)
+        and :class:`~repro.runtime.faults.AdapterFailAt` entries the
+        ``feed=`` field, since bare layer targets match every feed.
+
+        Returns ``{feed name: report}``; each feed's report is also its
+        ``last_report`` (visible to :meth:`feed_report`,
+        :meth:`runtime_metrics`, and ``plan_cache_stats(feed=...)``).
+        """
+        launches = [
+            launch if isinstance(launch, FeedLaunch) else FeedLaunch(feed=launch)
+            for launch in launches
+        ]
+        if not launches:
+            raise FeedStateError("start_feeds needs at least one feed")
+        names = [launch.feed for launch in launches]
+        if len(set(names)) != len(names):
+            raise FeedStateError(f"duplicate feeds in start_feeds: {names}")
+        if fabric is None:
+            attached = self.cluster.fabric
+            if attached is not None and not attached.used:
+                fabric = attached
+
+        entries = []
+        for launch in launches:
+            state = self._feed(launch.feed)
+            if state.target_dataset is None:
+                raise FeedStateError(
+                    f"feed {launch.feed!r} is not connected to a dataset"
+                )
+            if state.running:
+                raise FeedStateError(f"feed {launch.feed!r} is already running")
+            adapter = (
+                launch.adapter if launch.adapter is not None else state.adapter
+            )
+            if adapter is None:
+                raise FeedStateError(f"feed {launch.feed!r} has no adapter")
+            type_name = state.config.get("type-name")
+            datatype = self.types.get(type_name) if type_name else None
+            definition = FeedDefinition(
+                name=launch.feed,
+                target_dataset=state.target_dataset,
+                datatype=datatype,
+                batch_size=launch.batch_size,
+                framework=Framework.DYNAMIC,
+                computing_model=computing_model,
+                functions=list(state.functions),
+                balanced_intake=launch.balanced_intake,
+                policy=launch.policy or state.policy,
+                fault_plan=launch.fault_plan,
+                external_enrichers=list(state.external_enrichers),
+            )
+            entries.append((state, launch, adapter, definition))
+
+        if fabric is not None:
+            fabric.validate(
+                [
+                    (d.name, d.policy or DEFAULT_POLICY)
+                    for _, _, _, d in entries
+                ]
+            )
+        runtime = self.cluster.new_runtime("fleet")
+        runtime.install_fault_plan(
+            merge_fault_plans([d.fault_plan for _, _, _, d in entries])
+        )
+        if fabric is not None:
+            fabric.bind(runtime)
+        pipeline = DynamicIngestionPipeline(
+            self.cluster, self.catalog, self.registry, afm=self.afm
+        )
+        handles = []
+        reports: Dict[str, FeedRunReport] = {}
+        for state, _, _, _ in entries:
+            state.running = True
+        try:
+            try:
+                for state, launch, adapter, definition in entries:
+                    handles.append(
+                        (
+                            state,
+                            pipeline.launch(
+                                definition,
+                                adapter,
+                                update_client=launch.update_client,
+                                runtime=runtime,
+                                fabric=fabric,
+                            ),
+                        )
+                    )
+                for _, handle in handles:
+                    self.cluster.controller.begin_run(handle.run_name)
+                try:
+                    elapsed = runtime.run()
+                finally:
+                    for _, handle in handles:
+                        self.cluster.controller.finish_run(handle.run_name)
+                        handle.collect_faults()
+                for state, handle in handles:
+                    report = handle.finalize(elapsed)
+                    state.last_report = report
+                    reports[handle.feed_name] = report
+            finally:
+                for _, handle in handles:
+                    handle.cleanup()
+        finally:
+            for state, _, _, _ in entries:
+                state.running = False
+        return reports
 
     def resume_run(
         self,

@@ -20,6 +20,13 @@ from .external import (
     backfill_pending,
     enrichment_completeness,
 )
+from .fabric import (
+    FeedFabric,
+    FeedLaunch,
+    FeedSignals,
+    MemoryGovernor,
+    merge_fault_plans,
+)
 from .feed import (
     AttachedFunction,
     BatchStats,
@@ -31,6 +38,7 @@ from .feed import (
 from .pipelines import (
     ActiveFeedManager,
     DynamicIngestionPipeline,
+    FeedRunHandle,
     StaticIngestionPipeline,
 )
 from .policy import (
@@ -62,10 +70,15 @@ __all__ = [
     "ExternalFailureAction",
     "FeedAdapter",
     "FeedDefinition",
+    "FeedFabric",
+    "FeedLaunch",
     "FeedPolicy",
+    "FeedRunHandle",
     "FeedRunReport",
+    "FeedSignals",
     "FileAdapter",
     "Framework",
+    "MemoryGovernor",
     "GeneratorAdapter",
     "PENDING_FIELD",
     "QueueAdapter",
@@ -82,5 +95,6 @@ __all__ = [
     "enrichment_completeness",
     "ensure_dead_letter_dataset",
     "make_invoker",
+    "merge_fault_plans",
     "replay_dead_letters",
 ]

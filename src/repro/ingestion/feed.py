@@ -148,6 +148,14 @@ class FeedRunReport:
     #: stored records fully enriched by run end
     external: Optional["ExternalMetrics"] = None
     enrichment_completeness: float = 1.0
+    #: multi-tenant fabric attribution (zeros/empty without a
+    #: :class:`~repro.ingestion.fabric.FeedFabric` — default-off parity):
+    #: peak workers held beyond the policy floor, the feed's
+    #: ``(sim_seconds, held_workers)`` lease steps, and the memory
+    #: governor's ``(sim_seconds, cache_kind, granted_bytes)`` grants
+    borrowed_workers: int = 0
+    lease_timeline: List[tuple] = field(default_factory=list)
+    governor_grants: List[tuple] = field(default_factory=list)
     #: per-layer busy/idle/blocked timelines, holder high-water marks,
     #: stall counts, and batch latencies from the discrete-event runtime
     runtime: Optional["RuntimeMetrics"] = None
@@ -189,6 +197,30 @@ class FeedRunReport:
     def faults(self) -> Optional["FaultMetrics"]:
         """This run's failure/recovery counters (``None`` if no fault layer)."""
         return self.runtime.faults if self.runtime is not None else None
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank batch-latency percentile (0.0 before the run)."""
+        if self.runtime is None:
+            return 0.0
+        return self.runtime.latency_percentile(q)
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def latency_p95(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def latency_p99(self) -> float:
+        return self.latency_percentile(99)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Count, p50/p95/p99, and max batch latency (SLO groundwork)."""
+        if self.runtime is None:
+            return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return self.runtime.latency_summary()
 
     @property
     def refresh_period(self) -> float:

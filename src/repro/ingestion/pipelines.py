@@ -57,6 +57,8 @@ from ..runtime import (
 )
 from ..sqlpp.analysis import dataset_references
 from ..sqlpp.evaluator import EvaluationContext
+from ..sqlpp.memo import EnrichmentMemo
+from ..sqlpp.state_cache import StateCache
 from ..storage.checkpoint import CheckpointStore, PartitionCursor, RunCheckpoint
 from ..storage.dataset import hash_partition
 from .adapter import ADAPTER_IDLE, FeedAdapter, drain_available
@@ -68,6 +70,7 @@ from .feed import (
     Framework,
 )
 from .external import EnrichmentCoordinator
+from .fabric import FeedSignals
 from .policy import (
     DEFAULT_POLICY,
     ExternalFailureAction,
@@ -390,6 +393,11 @@ class _IntakeLayer:
                 if index in shared["faults_consumed"]:
                     continue
                 if fault.partition is not None and fault.partition != partition:
+                    continue
+                if (
+                    getattr(fault, "feed", None) is not None
+                    and fault.feed != self.feed.name
+                ):
                     continue
                 if state["drawn"] >= fault.after_records:
                     shared["faults_consumed"].add(index)
@@ -809,6 +817,31 @@ def _normalize_adapters(
     return adapters
 
 
+class FeedRunHandle:
+    """A launched-but-not-yet-driven dynamic feed run.
+
+    :meth:`DynamicIngestionPipeline.launch` sets the run up completely —
+    layers built, computing job predeployed, processes spawned on the
+    runtime — and returns this handle instead of driving the clock, so a
+    caller can launch *several* feeds onto one shared runtime and run
+    them as a fleet (:meth:`AsterixLite.start_feeds`).  The driving
+    protocol, in order: ``runtime.run()`` (inside the controller's
+    begin/finish bracket), :meth:`collect_faults`, :meth:`finalize`, and
+    :meth:`cleanup` in a ``finally``.  :meth:`DynamicIngestionPipeline.run`
+    is exactly this protocol for a single feed.
+    """
+
+    __slots__ = (
+        "feed_name",
+        "run_name",
+        "runtime",
+        "owns_runtime",
+        "finalize",
+        "collect_faults",
+        "cleanup",
+    )
+
+
 class DynamicIngestionPipeline:
     """The paper's layered ingestion framework."""
 
@@ -852,6 +885,51 @@ class DynamicIngestionPipeline:
         adapter at its durable cursor — zero acked loss, the un-acked tail
         replayed and deduped by pk-upsert.
         """
+        handle = self.launch(
+            feed,
+            adapter,
+            update_client=update_client,
+            predeploy=predeploy,
+            decoupled=decoupled,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        try:
+            self.cluster.controller.begin_run(handle.run_name)
+            try:
+                elapsed = handle.runtime.run()
+            finally:
+                self.cluster.controller.finish_run(handle.run_name)
+                handle.collect_faults()
+            return handle.finalize(elapsed)
+        finally:
+            handle.cleanup()
+
+    def launch(
+        self,
+        feed: FeedDefinition,
+        adapter: Union[FeedAdapter, Sequence[FeedAdapter]],
+        update_client=None,
+        predeploy: bool = True,
+        decoupled: bool = True,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume: bool = False,
+        runtime=None,
+        fabric=None,
+    ) -> FeedRunHandle:
+        """Set the run up without driving the clock; returns a handle.
+
+        ``runtime`` attaches the feed's processes to a caller-owned
+        (shared, multi-feed) runtime instead of a fresh private one; the
+        caller is then responsible for installing the fleet's (merged)
+        fault plan before launching and for driving ``runtime.run()``
+        itself.  ``fabric`` enrolls the feed's elastic worker pool — and,
+        when the fabric carries a memory governor, private
+        state-cache/memo tenants — with a
+        :class:`~repro.ingestion.fabric.FeedFabric`.  Both default to
+        ``None``: the solo path (:meth:`run`) is bit-for-bit the
+        historical single-feed pipeline.
+        """
         if feed.functions and self.registry is None:
             raise IngestionError("a function registry is required for UDF feeds")
         dataset = self.catalog[feed.target_dataset]
@@ -889,14 +967,33 @@ class DynamicIngestionPipeline:
                 self.catalog, feed.name, policy, num_partitions=n
             )
         soft_errors = SoftErrorHandler(feed.name, policy, faults, dead_letters)
+        run_name = f"feed-{feed.name}"
+        governed = (
+            fabric is not None
+            and fabric.governor is not None
+            and self.registry is not None
+        )
+        scoped_caches: List[StateCache] = []
         memo = None
         if policy.enrichment_memo_bytes > 0 and self.registry is not None:
-            # Opt-in cross-batch key-level result reuse (L2 memo): owned by
-            # the registry (same sharing/invalidations as the state cache),
-            # bounded by the policy's byte budget, and handed to both the
-            # local probe paths (via eval_ctx) and the external coordinator.
-            memo = self.registry.enrichment_memo
-            memo.configure(policy.enrichment_memo_bytes)
+            if governed:
+                # Governed tenant: a *private* memo whose budget the
+                # fabric's memory governor assigns (and re-assigns at batch
+                # boundaries) instead of the policy's fixed byte count.
+                # Adopted by the registry so DDL / replace_sqlpp clear it
+                # exactly like the shared singleton.
+                memo = EnrichmentMemo(label=f"{run_name}.memo")
+                self.registry.adopt_cache(memo)
+                scoped_caches.append(memo)
+                fabric.register_cache(run_name, memo, policy)
+            else:
+                # Opt-in cross-batch key-level result reuse (L2 memo):
+                # owned by the registry (same sharing/invalidations as the
+                # state cache), bounded by the policy's byte budget, and
+                # handed to both the local probe paths (via eval_ctx) and
+                # the external coordinator.
+                memo = self.registry.enrichment_memo
+                memo.configure(policy.enrichment_memo_bytes)
         coordinator = None
         if feed.external_enrichers:
             # One coordinator per run: breakers and rate limiters carry
@@ -921,11 +1018,20 @@ class DynamicIngestionPipeline:
         eval_ctx.cluster_nodes = n
         eval_ctx.memo = memo
         if policy.state_cache_bytes > 0 and self.registry is not None:
-            # Opt-in cross-batch build-state reuse: the registry-owned
-            # cache is shared by every worker (and every feed) over this
-            # registry; the policy's budget bounds its resident bytes.
-            self.registry.state_cache.configure(policy.state_cache_bytes)
-            eval_ctx.state_cache = self.registry.state_cache
+            if governed:
+                # Governed tenant: see the memo block above.
+                cache = StateCache(label=f"{run_name}.state")
+                self.registry.adopt_cache(cache)
+                scoped_caches.append(cache)
+                fabric.register_cache(run_name, cache, policy)
+                eval_ctx.state_cache = cache
+            else:
+                # Opt-in cross-batch build-state reuse: the registry-owned
+                # cache is shared by every worker (and every feed) over
+                # this registry; the policy's budget bounds its resident
+                # bytes.
+                self.registry.state_cache.configure(policy.state_cache_bytes)
+                eval_ctx.state_cache = self.registry.state_cache
         invoker = (
             make_invoker(feed.functions, self.registry) if feed.functions else None
         )
@@ -994,26 +1100,38 @@ class DynamicIngestionPipeline:
 
         job_id = cluster.controller.deploy(f"feed-{feed.name}", spec_builder)
         self.afm.register_feed(feed.name, job_id)
-        try:
-            return self._drive(
-                feed, adapters, intake, storage, eval_ctx, batch_size,
-                update_client, predeploy, decoupled, spec_builder,
-                collect_slot, policy, faults, soft_errors,
-                checkpoint, resume_cursors, base_checkpoint,
-                coordinator=coordinator,
-            )
-        finally:
+
+        def cleanup():
             # a failing UDF or adapter must not leak the feed's runtime
-            # state: the AFM entry, the predeployed job, the registered
-            # intake/storage partition holders, or the adapter's external
-            # resources (e.g. a FileAdapter's handle)
+            # state: the fabric/governor tenancy, the AFM entry, the
+            # predeployed job, the registered intake/storage partition
+            # holders, or the adapter's external resources (e.g. a
+            # FileAdapter's handle)
+            if fabric is not None:
+                fabric.deregister_feed(run_name)
+            if self.registry is not None:
+                for cache in scoped_caches:
+                    self.registry.release_cache(cache)
             self.afm.deregister_feed(feed.name)
             intake.close()
             storage.close()
             for part_adapter in adapters:
                 part_adapter.close()
 
-    def _drive(
+        try:
+            return self._launch(
+                feed, adapters, intake, storage, eval_ctx, batch_size,
+                update_client, predeploy, decoupled, spec_builder,
+                collect_slot, policy, faults, soft_errors,
+                checkpoint, resume_cursors, base_checkpoint,
+                coordinator=coordinator, runtime=runtime, fabric=fabric,
+                cleanup=cleanup,
+            )
+        except BaseException:
+            cleanup()
+            raise
+
+    def _launch(
         self,
         feed: FeedDefinition,
         adapters: List[FeedAdapter],
@@ -1033,7 +1151,10 @@ class DynamicIngestionPipeline:
         resume_cursors: Optional[Dict[int, object]] = None,
         base_checkpoint: Optional[RunCheckpoint] = None,
         coordinator: Optional[EnrichmentCoordinator] = None,
-    ) -> FeedRunReport:
+        runtime=None,
+        fabric=None,
+        cleanup=None,
+    ) -> FeedRunHandle:
         cluster = self.cluster
         n = cluster.num_nodes
         cost = cluster.cost_model
@@ -1063,10 +1184,20 @@ class DynamicIngestionPipeline:
         memo_before = memo.stats() if memo is not None else None
         # Same convention for the shared plan cache's columnar counters.
         plan_cache_before = _plan_cache_snapshot(eval_ctx)
+        # On a shared multi-feed runtime a start/end registry delta would
+        # interleave every tenant's batches; the UDF operator additionally
+        # tallies this feed's own share per invocation into its context.
+        eval_ctx.columnar_tally = {
+            name: 0 for name in _VECTORIZATION_COUNTERS
+        }
 
         run_name = f"feed-{feed.name}"
-        runtime = cluster.new_runtime(run_name)
-        runtime.install_fault_plan(feed.fault_plan)
+        owns_runtime = runtime is None
+        if owns_runtime:
+            runtime = cluster.new_runtime(run_name)
+            runtime.install_fault_plan(feed.fault_plan)
+        # else: a shared multi-feed runtime arrives with the fleet's
+        # merged fault plan already installed by the orchestrator
         buffer = IntakeBuffer(
             runtime,
             intake.holders,
@@ -1314,6 +1445,10 @@ class DynamicIngestionPipeline:
                     # the released batches' writes are on disk: persist
                     # the cursors that make them durable across a restart
                     commit_checkpoint()
+                if fabric is not None and released:
+                    # a batch boundary: the memory governor's rebalance
+                    # point (a no-op for fabrics without a governor)
+                    fabric.note_batch_released(run_name)
                 if not decoupled:
                     # §5.2 ablation: the coupled insert job waits for the
                     # log force and storage writes before finishing (a
@@ -1348,6 +1483,11 @@ class DynamicIngestionPipeline:
             pool["timeline"].append(
                 (runtime.clock.now - runtime.epoch, pool["running"])
             )
+            if fabric is not None:
+                # EOF drain or a recalled retire: either way this worker's
+                # lease returns to the fabric, which may immediately fund
+                # a queued borrower's grow
+                fabric.release_worker(run_name)
             if pool["running"] == 0 and not pool["ended"]:
                 pool["ended"] = True
                 if storage_channel is not None:
@@ -1407,6 +1547,19 @@ class DynamicIngestionPipeline:
                     and not buffer.producer_blocked
                 )
                 last_stalls = buffer.stalls
+                if fabric is not None:
+                    # the feed's standing bid: every sample tick's
+                    # congestion signals, whether or not a grow follows
+                    fabric.tick(
+                        run_name,
+                        FeedSignals(
+                            occupancy=occupancy,
+                            backlog_batches=backlog,
+                            producer_blocked=buffer.producer_blocked,
+                            congested=congested,
+                            starved=starved,
+                        ),
+                    )
                 if congested:
                     up_streak += 1
                     down_streak = 0
@@ -1424,7 +1577,14 @@ class DynamicIngestionPipeline:
                 ):
                     if pool["shrink"] > 0:
                         pool["shrink"] -= 1  # cancel a pending retire instead
-                    else:
+                        if fabric is not None:
+                            # a fabric recall may have been riding that token
+                            fabric.note_shrink_cancelled(run_name)
+                    elif fabric is None or fabric.acquire(run_name):
+                        # under a fabric, a grow must be funded from the
+                        # global budget; an unfunded bid queues inside the
+                        # fabric, which grows this pool itself (via the
+                        # registered grow hook) once a worker frees up
                         pool["scale_ups"] += 1
                         spawn_worker()
                     up_streak = 0
@@ -1437,6 +1597,30 @@ class DynamicIngestionPipeline:
                     down_streak = 0
 
         supervisor = Supervisor(runtime, policy.restart_policy())
+
+        if fabric is not None:
+
+            def fabric_grow():
+                # a queued borrow bid just got funded: grow the pool now
+                pool["scale_ups"] += 1
+                spawn_worker()
+
+            def fabric_recall():
+                # Recall safety: re-check the live pool so a fabric recall
+                # can never stack with the feed's own pending retires to
+                # drop the pool below its floor.
+                if pool["running"] - pool["shrink"] > workers_min:
+                    pool["shrink"] += 1
+                    buffer.kick()  # wake an idle worker to claim the token
+                    return True
+                return False
+
+            fabric.register_feed(
+                run_name,
+                policy,
+                grow=fabric_grow if elastic else None,
+                recall=fabric_recall if elastic else None,
+            )
         if num_partitions == 1:
             supervisor.spawn(
                 f"{run_name}.intake",
@@ -1462,6 +1646,8 @@ class DynamicIngestionPipeline:
                 )
         for _ in range(workers_min):
             spawn_worker()
+        if fabric is not None:
+            fabric.note_initial(run_name, workers_min)
         if decoupled:
             supervisor.spawn(
                 f"{run_name}.storage",
@@ -1473,124 +1659,171 @@ class DynamicIngestionPipeline:
                 f"{run_name}.elastic", elastic_controller(), layer="elastic"
             )
 
-        cluster.controller.begin_run(run_name)
-        try:
-            elapsed = runtime.run()
-        finally:
-            cluster.controller.finish_run(run_name)
-            faults.crashes = runtime.injected_crashes
+        def collect_faults():
+            # On a private runtime every injected crash is this feed's;
+            # on a shared (multi-feed) runtime the per-feed supervisor
+            # counts this feed's crashes.  Injected stall time is a
+            # runtime-global figure either way: exact for a private
+            # runtime, fleet-wide on a shared one.
+            faults.crashes = (
+                runtime.injected_crashes
+                if owns_runtime
+                else supervisor.total_crashes
+            )
             faults.restarts = supervisor.total_restarts
             faults.backoff_seconds = supervisor.total_backoff_seconds
             faults.stall_seconds = runtime.injected_stall_seconds
             if storage_channel is not None:
                 faults.channel_send_failures = storage_channel.send_failures
-        if track:
-            # the run drained cleanly: seal the checkpoint so a later
-            # resume knows there is nothing left to replay
-            commit_checkpoint(complete=True)
 
-        computing_total = state["computing_total"]
-        # With overlapping workers the layer's aggregate busy exceeds any
-        # wall-clock interval; the *bottleneck* contribution is the slowest
-        # single worker (identical to the aggregate when the pool size is 1).
-        computing_bottleneck = (
-            max(pool["worker_busy"].values()) if pool["worker_busy"] else 0.0
-        )
-        report.batch_stats.sort(
-            key=lambda stats: (stats.batch_index, stats.sub_index)
-        )
-        # With one intake actor the layer's bottleneck is the busiest
-        # intake node; partitioned actors overlap, so it is the slowest
-        # single partition (analogous to the worker pool above).
-        intake_bottleneck = (
-            intake.max_busy
-            if num_partitions == 1
-            else max(intake.partition_busy.values())
-        )
-        report.records_ingested = intake.records_received
-        report.records_stored = storage.records_stored
-        report.intake_seconds = intake_bottleneck
-        report.intake_partitions = num_partitions
-        if num_partitions > 1:
-            report.intake_partition_busy = dict(intake.partition_busy)
-        report.subbatches_dispatched = pool["subbatches"]
-        report.acked_batches = sequencer.next_index
-        report.checkpoint_commits = pool["checkpoint_commits"]
-        report.resumed_from_checkpoint = base_checkpoint is not None
-        report.computing_seconds = computing_total
-        report.computing_worker_busy = dict(pool["worker_busy"])
-        report.computing_wall_seconds = (
-            pool["last_busy"] - pool["first_busy"]
-            if pool["first_busy"] is not None
-            else 0.0
-        )
-        report.peak_computing_workers = pool["peak"]
-        report.scale_ups = pool["scale_ups"]
-        report.scale_downs = pool["scale_downs"]
-        report.storage_seconds = storage.max_busy
-        if decoupled:
-            steady = max(intake_bottleneck, computing_bottleneck, storage.max_busy)
-        else:
-            steady = max(intake_bottleneck, computing_bottleneck)
-        start_overhead = cost.job_startup(n, predeployed=False) * 2
-        # The emergent makespan exceeds the bottleneck layer's busy time by
-        # the pipeline's fill/drain ramp; like job startup, that ramp is a
-        # one-time cost that amortizes to nothing on a long-running feed,
-        # so it lands in fixed_start_seconds and steady-state throughput
-        # remains records / bottleneck-busy.  Computed as one subtraction
-        # so simulated - fixed_start recovers the bottleneck time exactly.
-        report.simulated_seconds = start_overhead + elapsed
-        report.fixed_start_seconds = report.simulated_seconds - steady
-        report.stalls = buffer.stalls
-        report.extra["deploy_seconds"] = cluster.controller.simulated_deploy_seconds
-        if state_cache is not None and state_cache_before is not None:
-            after = state_cache.stats()
-            report.state_cache_hits = after["hits"] - state_cache_before["hits"]
-            report.state_cache_misses = (
-                after["misses"] - state_cache_before["misses"]
+        def finalize(elapsed: float) -> FeedRunReport:
+            if track:
+                # the run drained cleanly: seal the checkpoint so a later
+                # resume knows there is nothing left to replay
+                commit_checkpoint(complete=True)
+            return assemble_report(elapsed)
+
+        def assemble_report(elapsed: float) -> FeedRunReport:
+            computing_total = state["computing_total"]
+            # With overlapping workers the layer's aggregate busy exceeds
+            # any wall-clock interval; the *bottleneck* contribution is the
+            # slowest single worker (identical to the aggregate when the
+            # pool size is 1).
+            computing_bottleneck = (
+                max(pool["worker_busy"].values()) if pool["worker_busy"] else 0.0
             )
-            report.state_cache_evictions = (
-                after["evictions"] - state_cache_before["evictions"]
+            report.batch_stats.sort(
+                key=lambda stats: (stats.batch_index, stats.sub_index)
             )
-            report.state_cache_bytes = after["bytes"]
-        if memo is not None and memo_before is not None:
-            after = memo.stats()
-            report.memo_hits = after["hits"] - memo_before["hits"]
-            report.memo_misses = after["misses"] - memo_before["misses"]
-            report.memo_evictions = after["evictions"] - memo_before["evictions"]
-            report.memo_bytes = after["bytes"]
-        _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
-        if coordinator is not None:
-            report.external = coordinator.finalize()
-            report.enrichment_completeness = coordinator.completeness
-        report.runtime = RuntimeMetrics.from_runtime(
-            runtime,
-            holders=list(intake.holders) + list(storage.holders),
-            stall_count=buffer.stalls
-            + (storage_channel.stalls if storage_channel is not None else 0),
-            batch_latencies=batch_latencies,
-            steady_state_seconds=steady,
-            faults=faults,
-            worker_pool_timeline=pool["timeline"],
-            scale_ups=pool["scale_ups"],
-            scale_downs=pool["scale_downs"],
-            reordered_batches=sequencer.reordered,
-            intake_partitions=num_partitions,
-            subbatches=pool["subbatches"],
-            subbatch_merges=sequencer.subbatch_merges,
-            checkpoint_commits=pool["checkpoint_commits"],
-            state_cache_hits=report.state_cache_hits,
-            state_cache_misses=report.state_cache_misses,
-            state_cache_evictions=report.state_cache_evictions,
-            state_cache_bytes=report.state_cache_bytes,
-            memo_hits=report.memo_hits,
-            memo_misses=report.memo_misses,
-            memo_evictions=report.memo_evictions,
-            memo_bytes=report.memo_bytes,
-            vectorized_batches=report.vectorized_batches,
-            vectorized_records=report.vectorized_records,
-            scalar_fallbacks=report.scalar_fallbacks,
-            external=report.external,
-            enrichment_completeness=report.enrichment_completeness,
-        )
-        return report
+            # With one intake actor the layer's bottleneck is the busiest
+            # intake node; partitioned actors overlap, so it is the slowest
+            # single partition (analogous to the worker pool above).
+            intake_bottleneck = (
+                intake.max_busy
+                if num_partitions == 1
+                else max(intake.partition_busy.values())
+            )
+            report.records_ingested = intake.records_received
+            report.records_stored = storage.records_stored
+            report.intake_seconds = intake_bottleneck
+            report.intake_partitions = num_partitions
+            if num_partitions > 1:
+                report.intake_partition_busy = dict(intake.partition_busy)
+            report.subbatches_dispatched = pool["subbatches"]
+            report.acked_batches = sequencer.next_index
+            report.checkpoint_commits = pool["checkpoint_commits"]
+            report.resumed_from_checkpoint = base_checkpoint is not None
+            report.computing_seconds = computing_total
+            report.computing_worker_busy = dict(pool["worker_busy"])
+            report.computing_wall_seconds = (
+                pool["last_busy"] - pool["first_busy"]
+                if pool["first_busy"] is not None
+                else 0.0
+            )
+            report.peak_computing_workers = pool["peak"]
+            report.scale_ups = pool["scale_ups"]
+            report.scale_downs = pool["scale_downs"]
+            report.storage_seconds = storage.max_busy
+            if decoupled:
+                steady = max(
+                    intake_bottleneck, computing_bottleneck, storage.max_busy
+                )
+            else:
+                steady = max(intake_bottleneck, computing_bottleneck)
+            start_overhead = cost.job_startup(n, predeployed=False) * 2
+            # The emergent makespan exceeds the bottleneck layer's busy time
+            # by the pipeline's fill/drain ramp; like job startup, that ramp
+            # is a one-time cost that amortizes to nothing on a long-running
+            # feed, so it lands in fixed_start_seconds and steady-state
+            # throughput remains records / bottleneck-busy.  Computed as one
+            # subtraction so simulated - fixed_start recovers the bottleneck
+            # time exactly.  On a shared multi-feed runtime ``elapsed`` is
+            # the *fleet's* makespan, so every report of the run carries the
+            # same simulated_seconds — the aggregate figure multi-tenant
+            # benchmarks compare.
+            report.simulated_seconds = start_overhead + elapsed
+            report.fixed_start_seconds = report.simulated_seconds - steady
+            report.stalls = buffer.stalls
+            report.extra["deploy_seconds"] = (
+                cluster.controller.simulated_deploy_seconds
+            )
+            if state_cache is not None and state_cache_before is not None:
+                after = state_cache.stats()
+                report.state_cache_hits = (
+                    after["hits"] - state_cache_before["hits"]
+                )
+                report.state_cache_misses = (
+                    after["misses"] - state_cache_before["misses"]
+                )
+                report.state_cache_evictions = (
+                    after["evictions"] - state_cache_before["evictions"]
+                )
+                report.state_cache_bytes = after["bytes"]
+            if memo is not None and memo_before is not None:
+                after = memo.stats()
+                report.memo_hits = after["hits"] - memo_before["hits"]
+                report.memo_misses = after["misses"] - memo_before["misses"]
+                report.memo_evictions = (
+                    after["evictions"] - memo_before["evictions"]
+                )
+                report.memo_bytes = after["bytes"]
+            if owns_runtime:
+                _apply_plan_cache_delta(report, eval_ctx, plan_cache_before)
+            else:
+                # shared runtime: the registry-wide delta interleaves every
+                # tenant's batches — use this feed's own invocation tally
+                for name in _VECTORIZATION_COUNTERS:
+                    setattr(report, name, eval_ctx.columnar_tally[name])
+            if coordinator is not None:
+                report.external = coordinator.finalize()
+                report.enrichment_completeness = coordinator.completeness
+            if fabric is not None:
+                tenant = fabric.tenant_report(run_name)
+                report.borrowed_workers = tenant["borrowed_workers"]
+                report.lease_timeline = tenant["lease_timeline"]
+                report.governor_grants = fabric.governor_grants_for(run_name)
+            report.runtime = RuntimeMetrics.from_runtime(
+                runtime,
+                holders=list(intake.holders) + list(storage.holders),
+                stall_count=buffer.stalls
+                + (storage_channel.stalls if storage_channel is not None else 0),
+                batch_latencies=batch_latencies,
+                steady_state_seconds=steady,
+                faults=faults,
+                worker_pool_timeline=pool["timeline"],
+                scale_ups=pool["scale_ups"],
+                scale_downs=pool["scale_downs"],
+                reordered_batches=sequencer.reordered,
+                intake_partitions=num_partitions,
+                subbatches=pool["subbatches"],
+                subbatch_merges=sequencer.subbatch_merges,
+                checkpoint_commits=pool["checkpoint_commits"],
+                state_cache_hits=report.state_cache_hits,
+                state_cache_misses=report.state_cache_misses,
+                state_cache_evictions=report.state_cache_evictions,
+                state_cache_bytes=report.state_cache_bytes,
+                memo_hits=report.memo_hits,
+                memo_misses=report.memo_misses,
+                memo_evictions=report.memo_evictions,
+                memo_bytes=report.memo_bytes,
+                vectorized_batches=report.vectorized_batches,
+                vectorized_records=report.vectorized_records,
+                scalar_fallbacks=report.scalar_fallbacks,
+                external=report.external,
+                enrichment_completeness=report.enrichment_completeness,
+                process_prefix=None if owns_runtime else f"{run_name}.",
+                borrowed_workers=report.borrowed_workers,
+                lease_timeline=report.lease_timeline,
+                governor_grants=report.governor_grants,
+            )
+            return report
+
+        handle = FeedRunHandle()
+        handle.feed_name = feed.name
+        handle.run_name = run_name
+        handle.runtime = runtime
+        handle.owns_runtime = owns_runtime
+        handle.finalize = finalize
+        handle.collect_faults = collect_faults
+        handle.cleanup = cleanup if cleanup is not None else (lambda: None)
+        return handle

@@ -154,8 +154,21 @@ class FeedPolicy:
     external_breaker_reset_seconds: float = 0.5  # open -> half-open cool-off
     external_breaker_half_open_probes: int = 1
     external_on_failure: ExternalFailureAction = ExternalFailureAction.PENDING
+    # multi-tenant fabric knobs — consulted only when the feed runs under a
+    # :class:`~repro.ingestion.fabric.FeedFabric`.  ``priority`` orders
+    # tenants when worker leases or governor bytes are contended (higher
+    # wins ties first; lower-priority tenants are preferred recall
+    # victims); ``fair_share`` is a relative weight multiplying the
+    # tenant's claim on the governed cache budget.  Both are inert for a
+    # solo feed, keeping single-feed runs byte-identical.
+    priority: int = 1
+    fair_share: float = 1.0
 
     def __post_init__(self):
+        if self.priority < 1:
+            raise ValueError("priority must be >= 1")
+        if self.fair_share <= 0:
+            raise ValueError("fair_share must be positive")
         if self.state_cache_bytes < 0:
             raise ValueError("state_cache_bytes must be >= 0")
         if self.enrichment_memo_bytes < 0:

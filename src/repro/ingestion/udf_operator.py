@@ -151,12 +151,23 @@ class UdfEvaluatorOperator(Operator):
         self.records_out = 0
 
     def next_frame(self, frame: Frame) -> None:
+        # The plan cache's columnar counters are registry-shared; on a
+        # multi-feed runtime each feed attributes its own share by
+        # snapshotting around the (synchronous) invocation into the
+        # context's tally — no other actor can run inside this window.
+        tally = getattr(self.eval_ctx, "columnar_tally", None)
+        if tally is not None:
+            cache = self.eval_ctx.plan_cache
+            before = {name: getattr(cache, name) for name in tally}
         meter = WorkMeter(scale=self.eval_ctx.reference_work_scale)
         out = None
         if self.batch_invoker is not None and len(frame) > 0:
             out = self._batch_frame(frame, meter)
         if out is None:
             out = self._scalar_frame(frame, meter)
+        if tally is not None:
+            for name in tally:
+                tally[name] += getattr(cache, name) - before[name]
         cost = self.ctx.cost
         self.ctx.charge(cost.udf_eval_base * len(frame) + meter.charge(cost))
         if out:

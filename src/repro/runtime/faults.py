@@ -86,10 +86,17 @@ class AdapterFailAt:
     partitioned feed (only that partition's adapter dies; its siblings
     keep streaming).  ``None`` — the default — lets the first adapter to
     reach the draw count consume the failure.
+
+    ``feed`` pins the failure to one feed's adapters, for multi-feed
+    runs whose merged fault plan is installed on a *shared* runtime
+    (each feed tracks consumed failures separately, so an unscoped
+    entry in a merged plan would fire once per feed).  Solo runs can
+    leave it ``None``.
     """
 
     after_records: int
     partition: Optional[int] = None
+    feed: Optional[str] = None
 
     def __post_init__(self):
         if self.after_records < 0:

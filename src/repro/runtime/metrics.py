@@ -10,6 +10,7 @@ with terminal ``max()`` arithmetic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -217,6 +218,14 @@ class RuntimeMetrics:
     #: fraction of enrichment-requiring stored records fully enriched by
     #: run end (1.0 when nothing degraded, or nothing was required)
     enrichment_completeness: float = 1.0
+    #: multi-tenant fabric attribution (zeros/empty when the run had no
+    #: :class:`~repro.ingestion.fabric.FeedFabric` — default-off parity):
+    #: peak workers this feed held beyond its policy floor, the feed's
+    #: ``(sim_seconds, held_workers)`` lease steps, and the memory
+    #: governor's ``(sim_seconds, cache_kind, granted_bytes)`` grants
+    borrowed_workers: int = 0
+    lease_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    governor_grants: List[Tuple[float, str, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------- assembly
 
@@ -250,6 +259,10 @@ class RuntimeMetrics:
         scalar_fallbacks: int = 0,
         external: Optional[ExternalMetrics] = None,
         enrichment_completeness: float = 1.0,
+        process_prefix: Optional[str] = None,
+        borrowed_workers: int = 0,
+        lease_timeline: Optional[List[Tuple[float, int]]] = None,
+        governor_grants: Optional[List[Tuple[float, str, int]]] = None,
     ) -> "RuntimeMetrics":
         makespan = runtime.elapsed
         steady = steady_state_seconds if steady_state_seconds is not None else makespan
@@ -280,8 +293,17 @@ class RuntimeMetrics:
             scalar_fallbacks=scalar_fallbacks,
             external=external,
             enrichment_completeness=enrichment_completeness,
+            borrowed_workers=borrowed_workers,
+            lease_timeline=list(lease_timeline or []),
+            governor_grants=list(governor_grants or []),
         )
         for process in runtime.processes:
+            # A shared multi-feed runtime hosts every feed's processes;
+            # the prefix filter keeps each feed's snapshot disjoint.
+            if process_prefix is not None and not process.name.startswith(
+                process_prefix
+            ):
+                continue
             metrics.processes[process.name] = LayerTimes(
                 busy=process.totals[BUSY],
                 idle=process.totals[IDLE],
@@ -321,6 +343,45 @@ class RuntimeMetrics:
     @property
     def total_rejected_offers(self) -> int:
         return sum(h.rejected for h in self.holders)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank batch-latency percentile in simulated seconds.
+
+        ``q`` is in ``(0, 100]``; returns 0.0 when the run recorded no
+        batch latencies.  Nearest-rank (the value at ``ceil(q/100 · n)``)
+        keeps the result an *observed* latency — the convention SLO
+        monitors use — and is deterministic for a deterministic run.
+        """
+        if not 0 < q <= 100:
+            raise ValueError("percentile q must be in (0, 100]")
+        latencies = sorted(self.batch_latencies_seconds)
+        if not latencies:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(latencies)))
+        return latencies[rank - 1]
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def latency_p95(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def latency_p99(self) -> float:
+        return self.latency_percentile(99)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """The SLO-facing latency digest: count, p50/p95/p99, and max."""
+        latencies = self.batch_latencies_seconds
+        return {
+            "count": len(latencies),
+            "p50": self.latency_p50,
+            "p95": self.latency_p95,
+            "p99": self.latency_p99,
+            "max": max(latencies) if latencies else 0.0,
+        }
 
     def latency_histogram(self, bins: int = 8) -> List[Tuple[float, int]]:
         """Batch-latency histogram: ``(upper_bound_seconds, count)`` rows.
@@ -397,6 +458,12 @@ class RuntimeMetrics:
                 f"{self.enrichment_completeness:.2f} "
                 f"({e.records_pending} pending, "
                 f"{e.records_dead_lettered} dead-lettered)"
+            )
+        if self.lease_timeline or self.governor_grants:
+            lines.append(
+                f"  fabric: peak +{self.borrowed_workers} borrowed "
+                f"worker(s), {len(self.lease_timeline)} lease step(s), "
+                f"{len(self.governor_grants)} governor grant(s)"
             )
         if self.faults is not None and self.faults.any_activity:
             f = self.faults

@@ -97,7 +97,11 @@ class EnrichmentMemo(StateCache):
     its entries are per-key *results* (one correlated-subquery answer,
     one shaped probe-kernel row, one external enrichment value), not
     build-side tables.  Subclassing keeps the two caches behaviourally
-    interchangeable while letting reports tell their counters apart.
+    interchangeable while letting reports tell their counters apart —
+    including under the multi-tenant memory governor, which resizes both
+    kinds through the shared ``configure``/``mark_window`` surface.
     """
 
     __slots__ = ()
+
+    kind = "memo"

@@ -136,10 +136,23 @@ class StateCache:
     least-recently-used entries until the new entry fits.  An entry
     larger than the whole budget is not admitted at all (it would only
     evict everything and then thrash).
+
+    The budget is *live-resizable*: :meth:`configure` may be called
+    mid-run (the multi-tenant memory governor does, at batch boundaries)
+    and a shrink evicts immediately, so the cache never sits over its
+    current grant.  :meth:`mark_window`/:attr:`windowed_hit_ratio` give a
+    recency-weighted utility signal for that arbitration without
+    disturbing the cumulative counters reports diff.
     """
 
-    def __init__(self, budget_bytes: int = 0):
+    #: tenant-kind tag for governor/report labeling (subclasses override)
+    kind = "state"
+
+    def __init__(self, budget_bytes: int = 0, label: str = ""):
         self.budget_bytes = int(budget_bytes)
+        #: owner tag for multi-tenant reporting (e.g. ``"F3.state"``);
+        #: empty for the registry-shared singleton
+        self.label = label
         self._entries: "OrderedDict[tuple, StateCacheEntry]" = OrderedDict()
         self.current_bytes = 0
         self.hits = 0
@@ -147,6 +160,10 @@ class StateCache:
         self.evictions = 0
         self.invalidations = 0  # full clears (DDL / function replace)
         self.version_mismatches = 0  # stale entries displaced by a rebuild
+        # window marks: lookups since the last mark_window() (the memory
+        # governor's recency-weighted hit-ratio signal)
+        self._window_hits_mark = 0
+        self._window_misses_mark = 0
 
     # ---------------------------------------------------------------- config
 
@@ -225,6 +242,30 @@ class StateCache:
         """Hits over lookups (0.0 before the first lookup)."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
+
+    def window_counts(self) -> Tuple[int, int]:
+        """``(hits, misses)`` since the last :meth:`mark_window`."""
+        return (
+            self.hits - self._window_hits_mark,
+            self.misses - self._window_misses_mark,
+        )
+
+    @property
+    def windowed_hit_ratio(self) -> float:
+        """Hit ratio since the last :meth:`mark_window`.
+
+        Falls back to the cumulative ratio while the current window has
+        no lookups, so a governor sampling between batches never reads a
+        spurious 0.0 from a momentarily idle tenant.
+        """
+        hits, misses = self.window_counts()
+        lookups = hits + misses
+        return hits / lookups if lookups else self.hit_ratio
+
+    def mark_window(self) -> None:
+        """Start a fresh observation window (governor rebalance boundary)."""
+        self._window_hits_mark = self.hits
+        self._window_misses_mark = self.misses
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -55,6 +55,12 @@ class FunctionRegistry:
         # across batches under the same version proofs).  Same ownership
         # rationale as the state cache; same default-off budget.
         self.enrichment_memo = EnrichmentMemo()
+        # Per-feed scoped caches adopted for the duration of a governed
+        # multi-tenant run: they are private to one feed (the memory
+        # governor resizes them individually) but must still observe the
+        # registry's wholesale invalidations — DDL and function
+        # replacement clear them exactly like the shared singletons.
+        self._scoped_caches: List[StateCache] = []
         # Bumped on every registration change; prepared invokers re-resolve
         # their function when it moves (§3.2 instant updates).
         self.version = 0
@@ -106,6 +112,8 @@ class FunctionRegistry:
         self.plan_cache.invalidate()
         self.state_cache.clear()
         self.enrichment_memo.clear()
+        for cache in self._scoped_caches:
+            cache.clear()
         return udf
 
     def invalidate_plans(self) -> None:
@@ -117,7 +125,28 @@ class FunctionRegistry:
         # the per-key memo, whose entries are guarded by the same keys.
         self.state_cache.clear()
         self.enrichment_memo.clear()
+        for cache in self._scoped_caches:
+            cache.clear()
         self.version += 1
+
+    def adopt_cache(self, cache: StateCache) -> StateCache:
+        """Enroll a per-feed scoped cache in registry-wide invalidation.
+
+        Governed multi-tenant runs give each feed its *own*
+        StateCache/EnrichmentMemo (so the memory governor can resize
+        tenants independently); adoption keeps those private instances
+        subject to the same DDL / ``replace_sqlpp`` clears as the shared
+        singletons.  Pair with :meth:`release_cache` at run teardown.
+        """
+        self._scoped_caches.append(cache)
+        return cache
+
+    def release_cache(self, cache: StateCache) -> None:
+        """Un-enroll a scoped cache (its run is over)."""
+        try:
+            self._scoped_caches.remove(cache)
+        except ValueError:
+            pass
 
     # ----------------------------------------------------------------- java
 
